@@ -1,0 +1,50 @@
+"""Fig. 5 — XPGraph insert throughput vs. its archiving threshold.
+
+Larger thresholds batch more edges per vertex per archive pass, turning
+scattered XPLine writes into fewer, fuller ones; throughput rises and
+saturates.  The paper picks 2^10 as the evaluation setting.
+"""
+
+from conftest import run_once
+from repro.bench import emit, format_table, get_built_system, paper_vs_measured
+from repro.bench.paper_data import FIG5_THRESHOLDS
+
+DATASETS_F5 = ("orkut", "livejournal")
+
+
+def test_fig5_xpgraph_archiving_threshold(benchmark, scale):
+    def run():
+        out = {}
+        for ds in DATASETS_F5:
+            series = []
+            for thr in FIG5_THRESHOLDS:
+                _, ins = get_built_system(
+                    "xpgraph", ds, scale=scale, archive_threshold=thr
+                )
+                series.append((thr, ins.meps(1)))
+            out[ds] = series
+        return out
+
+    out = run_once(benchmark, run)
+    for ds, series in out.items():
+        emit(format_table(
+            f"Fig 5 ({ds}): XPGraph insert MEPS vs archiving threshold",
+            ["threshold", "MEPS (T1)"],
+            series,
+        ))
+
+    checks = []
+    for ds, series in out.items():
+        meps = [m for _, m in series]
+        checks.append((
+            f"{ds}: throughput improves with threshold (paper)",
+            "rising", f"{meps[0]:.2f} -> {meps[-1]:.2f}", meps[-1] > 1.2 * meps[0],
+        ))
+        mid = meps[len(meps) // 2]
+        checks.append((
+            f"{ds}: saturates at large thresholds (paper)",
+            "plateau", f"gain after mid: {(meps[-1] - mid) / mid * 100:.0f}%",
+            (meps[-1] - mid) / mid < 0.8,
+        ))
+    emit(paper_vs_measured("fig5 structure", checks))
+    assert all(ok for *_, ok in checks)

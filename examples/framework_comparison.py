@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Compare all five systems on one stream — a miniature of the paper's §4.
+
+Ingests the same shuffled LiveJournal-shaped stream into DGAP, BAL,
+LLAMA, GraphOne-FD and XPGraph, then runs PageRank and BFS on each
+system's own view, reporting:
+
+* insert throughput (MEPS) at 1 and 16 modeled writer threads,
+* write amplification on the persistent device,
+* analysis time normalized to the immutable-CSR baseline.
+
+Run:  python examples/framework_comparison.py            (default scale)
+      REPRO_SCALE=0.25 python examples/framework_comparison.py   (faster)
+"""
+
+from repro.baselines import SYSTEMS, StaticCSR
+from repro.bench.harness import ingest, run_kernel
+from repro.bench.reporting import format_table
+from repro.datasets import env_scale, get_dataset
+
+
+def main() -> None:
+    scale = env_scale(0.5)
+    spec = get_dataset("livejournal")
+    edges = spec.generate(scale)
+    num_vertices, _ = spec.sizes(scale)
+    print(f"{spec.name} proxy at scale {scale}: "
+          f"{num_vertices} vertices, {edges.shape[0]} edges (E/V = {spec.ratio})\n")
+
+    csr = StaticCSR(num_vertices, edges)
+    csr_view = csr.analysis_view()
+    t_pr_csr = run_kernel(csr_view, "pr")[1]
+    t_bfs_csr = run_kernel(csr_view, "bfs", source=0)[1]
+
+    rows = []
+    for name, cls in SYSTEMS.items():
+        system = cls(num_vertices, edges.shape[0])
+        result = ingest(system, spec, edges)
+        view = system.analysis_view()
+        t_pr = run_kernel(view, "pr")[1]
+        t_bfs = run_kernel(view, "bfs", source=0)[1]
+        rows.append((
+            name,
+            result.meps(1),
+            result.meps(16),
+            result.write_amplification,
+            t_pr / t_pr_csr,
+            t_bfs / t_bfs_csr,
+        ))
+
+    rows.sort(key=lambda r: -r[1])
+    print(format_table(
+        f"five systems on {spec.name} (PR/BFS normalized to immutable CSR; lower is better)",
+        ["system", "insert MEPS (1T)", "insert MEPS (16T)", "write amp", "PR vs CSR", "BFS vs CSR"],
+        rows,
+    ))
+    print(
+        "\nreading the table like the paper does:\n"
+        "  - DGAP leads ingestion (single mutable CSR, no structure conversions);\n"
+        "  - DGAP is closest to CSR on full scans (PR) among dynamic systems;\n"
+        "  - the DRAM-cached adjacency lists (GraphOne/XPGraph) win BFS;\n"
+        "  - LLAMA pays its per-snapshot vertex tables and fragment chains."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""DGAP reproduction: efficient dynamic graph analysis on (simulated) persistent memory.
+
+Public API quickstart::
+
+    from repro import DGAP, DGAPConfig
+
+    g = DGAP(DGAPConfig(init_vertices=1000, init_edges=10_000))
+    g.insert_edge(0, 1)
+    g.insert_edges([(1, 2), (2, 3)])
+    snap = g.consistent_view()
+    from repro.algorithms import pagerank
+    ranks = pagerank(snap)
+    snap.release()
+    g.shutdown()
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
+the paper-vs-measured experiment index.
+"""
+
+from .config import DGAPConfig
+from .errors import (
+    GraphError,
+    ImmutableGraphError,
+    OutOfPMemError,
+    PMemError,
+    RecoveryError,
+    ReproError,
+    SimulatedCrash,
+    SnapshotError,
+    TransactionError,
+    VertexRangeError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DGAP",
+    "DGAPConfig",
+    "ReproError",
+    "PMemError",
+    "OutOfPMemError",
+    "TransactionError",
+    "SimulatedCrash",
+    "GraphError",
+    "VertexRangeError",
+    "ImmutableGraphError",
+    "SnapshotError",
+    "RecoveryError",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Lazy import: keep `import repro` light and avoid cycles.
+    if name == "DGAP":
+        from .core.dgap import DGAP
+
+        return DGAP
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

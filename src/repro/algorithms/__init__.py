@@ -1,0 +1,15 @@
+"""The four GAPBS graph kernels used by the paper's evaluation (Table 1)."""
+
+from .bc import betweenness_centrality
+from .bfs import bfs
+from .cc import connected_components
+from .pagerank import pagerank
+
+KERNELS = {
+    "pr": pagerank,
+    "bfs": bfs,
+    "bc": betweenness_centrality,
+    "cc": connected_components,
+}
+
+__all__ = ["pagerank", "bfs", "betweenness_centrality", "connected_components", "KERNELS"]

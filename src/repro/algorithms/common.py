@@ -1,0 +1,30 @@
+"""Shared helpers for the vectorized graph kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def multi_arange(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(s, s+c)`` per pair — the edge-gather primitive."""
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    cum = np.cumsum(counts)
+    return (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(cum - counts, counts)
+        + np.repeat(np.asarray(starts, dtype=np.int64), counts)
+    )
+
+
+def gather_edges(indptr: np.ndarray, targets: np.ndarray, vertices: np.ndarray):
+    """All edges of ``vertices``: returns (owners, neighbors)."""
+    counts = indptr[vertices + 1] - indptr[vertices]
+    idx = multi_arange(indptr[vertices], counts)
+    owners = np.repeat(vertices, counts)
+    return owners, targets[idx]
+
+
+__all__ = ["multi_arange", "gather_edges"]

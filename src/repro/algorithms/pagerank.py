@@ -1,0 +1,45 @@
+"""PageRank — GAPBS ``pr.cc`` semantics (paper Table 1).
+
+Pull-based, a fixed number of iterations (the paper runs 20), damping
+0.85.  Dangling vertices contribute nothing (GAPBS's simple variant).
+Each iteration sweeps every vertex's incoming edges — the access
+pattern that favours CSR-like layouts and penalizes pointer chasing
+(Fig. 7's story).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.view import BaseGraphView
+
+#: PR touches every edge every iteration but has near-perfect parallel
+#: structure; the small serial part is the convergence reduction.
+_PR_SERIAL = 0.015
+
+
+def pagerank(
+    view: BaseGraphView,
+    iterations: int = 20,
+    damping: float = 0.85,
+) -> np.ndarray:
+    """|V|-sized array of ranks after ``iterations`` sweeps."""
+    nv = view.num_vertices
+    in_indptr, in_srcs = view.in_csr()
+    out_deg = view.out_degrees().astype(np.float64)
+    safe_deg = np.where(out_deg > 0, out_deg, 1.0)
+    dst_ids = np.repeat(np.arange(nv, dtype=np.int64), np.diff(in_indptr))
+
+    score = np.full(nv, 1.0 / nv)
+    base = (1.0 - damping) / nv
+    for _ in range(iterations):
+        contrib = score / safe_deg
+        contrib[out_deg == 0] = 0.0
+        sums = np.bincount(dst_ids, weights=contrib[in_srcs], minlength=nv)
+        score = base + damping * sums
+        view.account_full_scan(serial_fraction=_PR_SERIAL)
+        view.account_compute(nv * 8 * 3, serial_fraction=_PR_SERIAL)
+    return score
+
+
+__all__ = ["pagerank"]

@@ -1,0 +1,17 @@
+"""Analysis framework: graph views with storage-aware cost accounting."""
+
+from .view import (
+    CSR_PM_GEOMETRY,
+    AnalysisClock,
+    BaseGraphView,
+    CSRArraysView,
+    StorageGeometry,
+)
+
+__all__ = [
+    "AnalysisClock",
+    "BaseGraphView",
+    "CSRArraysView",
+    "StorageGeometry",
+    "CSR_PM_GEOMETRY",
+]

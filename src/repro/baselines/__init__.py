@@ -1,0 +1,40 @@
+"""The compared systems of the paper's evaluation (§4.1).
+
+* :class:`StaticCSR` — immutable GAPBS CSR on PM (analysis baseline);
+* :class:`BlockedAdjacencyList` — BAL on PM (insertion baseline);
+* :class:`LLAMA` — multi-versioned CSR snapshots;
+* :class:`GraphOneFD` — DRAM edge list + adjacency archive, PM-flushed;
+* :class:`XPGraph` — PM edge log + PM adjacency list, DRAM cache;
+* :class:`DGAPSystem` — the paper's contribution, same interface.
+"""
+
+from .bal import BlockedAdjacencyList
+from .csr import StaticCSR
+from .dgap_system import DGAPSystem
+from .graphone import GraphOneFD
+from .interfaces import DynamicGraphSystem, InsertProfile, PM_WRITE_BW_BYTES_PER_S
+from .llama import LLAMA
+from .xpgraph import XPGraph
+
+#: constructor registry for the benchmark harness (dynamic systems only;
+#: StaticCSR has a different signature and cannot ingest).
+SYSTEMS = {
+    "dgap": DGAPSystem,
+    "bal": BlockedAdjacencyList,
+    "llama": LLAMA,
+    "graphone": GraphOneFD,
+    "xpgraph": XPGraph,
+}
+
+__all__ = [
+    "DynamicGraphSystem",
+    "InsertProfile",
+    "PM_WRITE_BW_BYTES_PER_S",
+    "StaticCSR",
+    "BlockedAdjacencyList",
+    "LLAMA",
+    "GraphOneFD",
+    "XPGraph",
+    "DGAPSystem",
+    "SYSTEMS",
+]

@@ -1,0 +1,147 @@
+"""Common interface for every compared graph system (paper §4.1).
+
+Each system executes its real storage protocol against the simulated
+substrate: persistent structures live in a :class:`PMemPool` (modeled
+Optane costs), DRAM-side structures in a DRAM-profile device.  Modeled
+insert time is whatever those devices accrued, plus a per-edge
+``sw_overhead_ns`` constant modeling the framework's software path
+(atomics, hashing, allocation) — calibrated once against the paper's
+Orkut single-thread MEPS (Fig. 6) and documented per system; DGAP needs
+none (its costs come entirely from the substrate).
+
+Thread scaling (Table 3) uses :class:`InsertScalingModel`: time at p
+threads is ``max(serial + parallel/p, pm_media_bytes / PM_WRITE_BW)`` —
+Amdahl over each architecture's serialization (LLAMA's single-threaded
+snapshotting, GraphOne/XPGraph archiving) plus the Optane media
+write-bandwidth ceiling that caps every system near 6-8 MEPS in the
+paper's 16-thread column.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from ..analysis.view import BaseGraphView
+from ..pmem.device import PMemDevice
+from ..pmem.latency import DRAM, OPTANE_ADR
+from ..pmem.pool import PMemPool
+
+#: Aggregate Optane media write bandwidth of the paper's 6-DIMM testbed
+#: (interleaved small writes; well below the pure-stream peak).
+PM_WRITE_BW_BYTES_PER_S = 2.3e9
+
+
+@dataclass
+class InsertProfile:
+    """Everything needed to evaluate insert time at any thread count."""
+
+    edges: int
+    modeled_ns: float
+    pm_media_bytes: int
+    serial_fraction: float
+
+    def seconds(self, threads: int = 1) -> float:
+        """Modeled ingest seconds at ``threads`` writer threads."""
+        ser = self.modeled_ns * self.serial_fraction
+        par = self.modeled_ns - ser
+        t = (ser + par / max(1, threads)) * 1e-9
+        bw_floor = self.pm_media_bytes / PM_WRITE_BW_BYTES_PER_S
+        return max(t, bw_floor) if threads > 1 else t
+
+    def meps(self, threads: int = 1) -> float:
+        """Throughput in million edges per second at ``threads`` threads."""
+        s = self.seconds(threads)
+        return self.edges / s / 1e6 if s > 0 else float("inf")
+
+
+class DynamicGraphSystem(ABC):
+    """A graph store under evaluation: ingest a stream, analyze snapshots."""
+
+    name: str = "?"
+    #: Amdahl serial fraction of the insert path (see module docstring).
+    insert_serial_fraction: float = 0.0
+    #: per-edge software-path cost (ns) — calibration, documented per system.
+    sw_overhead_ns: float = 0.0
+
+    def __init__(self) -> None:
+        self._sw_edges = 0
+
+    # -- updates ------------------------------------------------------------
+    @abstractmethod
+    def insert_edge(self, src: int, dst: int) -> None: ...
+
+    def insert_edges(self, edges: Iterable[Tuple[int, int]]) -> int:
+        """Insert a stream of (src, dst) pairs; returns how many."""
+        n = 0
+        for s, d in edges:
+            self.insert_edge(int(s), int(d))
+            n += 1
+        return n
+
+    def finalize(self) -> None:
+        """Flush any buffered state (end of an ingest phase)."""
+
+    # -- analysis -------------------------------------------------------------
+    @abstractmethod
+    def analysis_view(self) -> BaseGraphView:
+        """A view over the system's current analyzable graph."""
+
+    # -- accounting ---------------------------------------------------------------
+    @abstractmethod
+    def _devices(self) -> Tuple[PMemDevice, ...]: ...
+
+    def modeled_insert_ns(self) -> float:
+        """Total modeled ingest time: device costs + software path."""
+        ns = sum(d.stats.modeled_ns for d in self._devices())
+        return ns + self._sw_edges * self.sw_overhead_ns
+
+    def pm_media_bytes(self) -> int:
+        """Bytes written to persistent media (the bandwidth-cap input)."""
+        return sum(
+            d.stats.media_bytes for d in self._devices() if not d.profile.volatile
+        )
+
+    def checkpoint(self) -> "SystemCheckpoint":
+        """Snapshot counters (to measure a post-warm-up window)."""
+        return SystemCheckpoint(
+            self.modeled_insert_ns(), self.pm_media_bytes(), self._sw_edges
+        )
+
+    def insert_profile(self, since: Optional["SystemCheckpoint"] = None,
+                       edges: Optional[int] = None) -> InsertProfile:
+        """Summarize ingest since ``since`` for thread-count evaluation."""
+        base = since or SystemCheckpoint(0.0, 0, 0)
+        n_edges = edges if edges is not None else self._sw_edges - base.edges
+        return InsertProfile(
+            edges=n_edges,
+            modeled_ns=self.modeled_insert_ns() - base.ns,
+            pm_media_bytes=self.pm_media_bytes() - base.media,
+            serial_fraction=self.insert_serial_fraction,
+        )
+
+
+@dataclass
+class SystemCheckpoint:
+    """Counter snapshot delimiting a measured ingest window."""
+
+    ns: float
+    media: int
+    edges: int
+
+
+def make_dram_device(size: int, name: str) -> PMemDevice:
+    """A DRAM-profile device for a system's volatile structures."""
+    return PMemDevice(size, profile=DRAM, name=name)
+
+
+__all__ = [
+    "DynamicGraphSystem",
+    "InsertProfile",
+    "SystemCheckpoint",
+    "PM_WRITE_BW_BYTES_PER_S",
+    "make_dram_device",
+]

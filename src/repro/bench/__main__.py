@@ -1,0 +1,132 @@
+"""Command-line experiment runner: ``python -m repro.bench <experiment>``.
+
+A thin alternative to the pytest benchmarks for interactive use::
+
+    python -m repro.bench insert --dataset orkut --scale 0.5
+    python -m repro.bench analysis --dataset livejournal --kernel pr
+    python -m repro.bench ablation --scale 0.25
+    python -m repro.bench recovery --dataset orkut
+
+Each subcommand prints the same tables the benchmark suite emits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .. import DGAP, DGAPConfig
+from ..datasets import DATASETS, SMALL_DATASETS, get_dataset
+from .harness import get_built_system, get_static_csr, pick_source, run_kernel
+from .reporting import format_table
+
+SYSTEM_ORDER = ("dgap", "bal", "llama", "graphone", "xpgraph")
+
+
+def cmd_insert(args) -> None:
+    rows = []
+    for name in SYSTEM_ORDER:
+        _, ins = get_built_system(name, args.dataset, scale=args.scale)
+        rows.append((name, ins.meps(1), ins.meps(8), ins.meps(16), ins.write_amplification))
+    print(format_table(
+        f"insert throughput — {args.dataset} (scale {args.scale})",
+        ["system", "MEPS T1", "MEPS T8", "MEPS T16", "write amp"],
+        rows,
+    ))
+
+
+def cmd_analysis(args) -> None:
+    src = pick_source(args.dataset, args.scale)
+    csr_view = get_static_csr(args.dataset, args.scale).analysis_view()
+    t_csr = run_kernel(csr_view, args.kernel, source=src)[1]
+    rows = [("csr", t_csr * 1e3, 1.0)]
+    for name in SYSTEM_ORDER:
+        system, _ = get_built_system(name, args.dataset, scale=args.scale)
+        t = run_kernel(system.analysis_view(), args.kernel, source=src)[1]
+        rows.append((name, t * 1e3, t / t_csr))
+    print(format_table(
+        f"{args.kernel.upper()} — {args.dataset} (scale {args.scale}, modeled, 1 thread)",
+        ["system", "time (ms)", "vs CSR"],
+        rows,
+    ))
+
+
+def cmd_ablation(args) -> None:
+    variants = (
+        ("dgap", {}),
+        ("no_el", {"use_edge_log": False}),
+        ("no_el_ul", {"use_edge_log": False, "use_undo_log": False}),
+        ("no_el_ul_dp", {"use_edge_log": False, "use_undo_log": False, "dram_placement": False}),
+    )
+    rows = []
+    for ds in SMALL_DATASETS:
+        spec = get_dataset(ds)
+        edges = spec.generate(args.scale)
+        nv, _ = spec.sizes(args.scale)
+        for name, kw in variants:
+            g = DGAP(DGAPConfig(init_vertices=nv, init_edges=edges.shape[0], **kw))
+            before = g.pool.stats.snapshot()
+            g.insert_edges(map(tuple, edges))
+            d = g.pool.stats.delta_since(before)
+            rows.append((ds, name, d.modeled_ns * 1e-9))
+    print(format_table(
+        "Table 5 ablation (modeled seconds)",
+        ["dataset", "variant", "insert time (s)"],
+        rows,
+        floatfmt="{:.4f}",
+    ))
+
+
+def cmd_recovery(args) -> None:
+    spec = get_dataset(args.dataset)
+    edges = spec.generate(args.scale)
+    nv, _ = spec.sizes(args.scale)
+    g = DGAP(DGAPConfig(init_vertices=nv, init_edges=edges.shape[0]))
+    g.insert_edges(map(tuple, edges))
+    g.shutdown()
+    before = g.pool.stats.snapshot()
+    g2 = DGAP.open(g.pool, g.config)
+    normal = g.pool.stats.delta_since(before).modeled_ns * 1e-6
+    g2.pool.crash()
+    before = g2.pool.stats.snapshot()
+    DGAP.open(g2.pool, g2.config)
+    crash = g2.pool.stats.delta_since(before).modeled_ns * 1e-6
+    print(format_table(
+        f"recovery — {args.dataset} ({edges.shape[0]} edges)",
+        ["path", "modeled ms"],
+        [("normal restart", normal), ("crash recovery", crash)],
+        floatfmt="{:.3f}",
+    ))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.bench", description=__doc__)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("insert", help="Fig. 6 / Table 3 style insert throughput")
+    p.add_argument("--dataset", choices=sorted(DATASETS), default="orkut")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.set_defaults(fn=cmd_insert)
+
+    p = sub.add_parser("analysis", help="Fig. 7/8 style kernel comparison")
+    p.add_argument("--dataset", choices=sorted(DATASETS), default="orkut")
+    p.add_argument("--kernel", choices=("pr", "bfs", "bc", "cc"), default="pr")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.set_defaults(fn=cmd_analysis)
+
+    p = sub.add_parser("ablation", help="Table 5 component ablation")
+    p.add_argument("--scale", type=float, default=0.5)
+    p.set_defaults(fn=cmd_ablation)
+
+    p = sub.add_parser("recovery", help="normal restart vs crash recovery")
+    p.add_argument("--dataset", choices=sorted(DATASETS), default="orkut")
+    p.add_argument("--scale", type=float, default=0.5)
+    p.set_defaults(fn=cmd_recovery)
+
+    args = parser.parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

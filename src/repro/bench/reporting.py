@@ -1,0 +1,74 @@
+"""Plain-text tables for the benchmark harness.
+
+Every experiment prints two things: the regenerated table/figure series
+(same rows the paper reports) and, where the paper gives numbers, a
+``paper vs measured`` comparison so EXPERIMENTS.md can be audited
+against ``bench_output.txt`` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    floatfmt: str = "{:.2f}",
+) -> str:
+    srows: List[List[str]] = []
+    for row in rows:
+        srows.append(
+            [floatfmt.format(c) if isinstance(c, float) else str(c) for c in row]
+        )
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    out = [f"== {title} ==", " | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in srows:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def paper_vs_measured(
+    title: str,
+    rows: Iterable[Sequence],
+    headers: Sequence[str] = ("metric", "paper", "measured", "ok?"),
+) -> str:
+    """Rows: (metric, paper_value, measured_value, predicate_result)."""
+    formatted = []
+    for metric, paper, measured, ok in rows:
+        formatted.append(
+            (
+                metric,
+                paper if isinstance(paper, str) else f"{paper:g}",
+                measured if isinstance(measured, str) else f"{measured:.3g}",
+                "yes" if ok else "NO",
+            )
+        )
+    return format_table(f"{title} — paper vs measured", headers, formatted)
+
+
+#: tables collected during a benchmark session; pytest's capture swallows
+#: per-test stdout of passing tests, so the benchmarks' conftest flushes
+#: this registry in ``pytest_terminal_summary`` — that is how every table
+#: reaches the tee'd ``bench_output.txt``.
+_REPORTS: List[str] = []
+
+
+def emit(text: str) -> None:
+    """Print a report block and queue it for the end-of-session summary."""
+    print("\n" + text + "\n")
+    _REPORTS.append(text)
+
+
+def flush_reports() -> List[str]:
+    out = list(_REPORTS)
+    _REPORTS.clear()
+    return out
+
+
+__all__ = ["format_table", "paper_vs_measured", "emit", "flush_reports"]

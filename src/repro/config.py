@@ -1,0 +1,115 @@
+"""Configuration for the DGAP framework (paper §3.1.1).
+
+All of the user-specified initialization parameters from the paper are
+here with the paper's defaults (ELOG_SZ = 2 KB, ULOG_SZ = 2 KB), plus
+the ablation switches used by Table 5:
+
+* ``use_edge_log``   — ③ per-section edge log ("No EL" when False);
+* ``use_undo_log``   — ④ per-thread undo log ("No EL&UL" when also
+  False: rebalancing falls back to PMDK transactions);
+* ``dram_placement`` — ① vertex array + PMA metadata in DRAM ("No
+  EL&UL&DP" when False: everything lives on PM and pays persistent
+  in-place update costs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .pmem.constants import KIB
+from .pmem.latency import OPTANE_ADR, LatencyModel
+
+
+@dataclass
+class DGAPConfig:
+    """Initialization parameters for one DGAP instance."""
+
+    #: Initial estimate of the number of vertices (pre-allocates the
+    #: DRAM vertex array and seeds pivots in the edge array).
+    init_vertices: int = 1024
+
+    #: Initial estimate of the number of edges (sizes the PM edge array;
+    #: the array resizes automatically when it fills).
+    init_edges: int = 16 * 1024
+
+    #: Per-section edge log size in bytes (paper default 2 KB).
+    elog_size: int = 2 * KIB
+
+    #: Per-thread undo log size in bytes (paper default 2 KB).
+    ulog_size: int = 2 * KIB
+
+    #: Number of writer threads to pre-allocate undo logs for.
+    writer_threads: int = 16
+
+    #: Leaf section size of the PMA, in slots.  Sections are the
+    #: granularity of edge logs, locks and density accounting.
+    segment_slots: int = 512
+
+    #: Edge-log merge trigger: merge when the log reaches this fraction
+    #: of its capacity (paper: 90%).
+    elog_merge_fraction: float = 0.90
+
+    #: PMA density bounds: leaf upper bound and root upper bound
+    #: (thresholds interpolate linearly with tree height, Bender & Hu).
+    tau_leaf: float = 0.92
+    tau_root: float = 0.70
+
+    #: Lower-bound densities (used when deletions thin out sections).
+    rho_leaf: float = 0.08
+    rho_root: float = 0.30
+
+    #: Device latency profile for the PM pool.
+    profile: LatencyModel = field(default=OPTANE_ADR)
+
+    #: Extra slack factor when sizing the PM edge array: capacity =
+    #: next_pow2(init_edges * overprovision) so the PMA has working gaps.
+    overprovision: float = 1.30
+
+    #: Total simulated PM pool size in bytes (None = auto-sized with
+    #: headroom for several copy-on-write resizes).
+    pool_bytes: int | None = None
+
+    #: Take the per-section locks on every operation (real-thread safe).
+    #: Off by default: the benchmark drivers are single-threaded (the
+    #: virtual-thread scheduler models contention instead) and per-op
+    #: Python lock overhead would pollute wall-clock numbers.
+    thread_safe: bool = False
+
+    #: How rebalancing distributes gaps among vertex runs:
+    #: "proportional" (VCSR's workload-aware weighting — hot vertices get
+    #: more room, the paper's design) or "uniform" (classic PMA/PCSR).
+    gap_distribution: str = "proportional"
+
+    #: Use the Copy-on-Write Degree Cache (the paper's §6 future work):
+    #: snapshots share unchanged degree chunks with the writer instead of
+    #: copying the whole O(|V|) vector per analysis task.
+    cow_degree_cache: bool = False
+
+    # ---- ablation switches (Table 5) -----------------------------------
+    use_edge_log: bool = True
+    use_undo_log: bool = True
+    dram_placement: bool = True
+
+    def __post_init__(self) -> None:
+        if self.init_vertices <= 0 or self.init_edges <= 0:
+            raise ValueError("init_vertices and init_edges must be positive")
+        if not 0.0 < self.elog_merge_fraction <= 1.0:
+            raise ValueError("elog_merge_fraction must be in (0, 1]")
+        if not (0 < self.tau_root <= self.tau_leaf <= 1.0):
+            raise ValueError("need 0 < tau_root <= tau_leaf <= 1")
+        if not (0 <= self.rho_leaf <= self.rho_root < self.tau_root):
+            raise ValueError("need 0 <= rho_leaf <= rho_root < tau_root")
+        if self.segment_slots < 64 or self.segment_slots & (self.segment_slots - 1):
+            raise ValueError("segment_slots must be a power of two >= 64")
+        if self.gap_distribution not in ("proportional", "uniform"):
+            raise ValueError("gap_distribution must be 'proportional' or 'uniform'")
+
+    @property
+    def elog_entries(self) -> int:
+        """Edge-log capacity in 12-byte entries."""
+        from .core.edge_log import ENTRY_BYTES
+
+        return max(1, self.elog_size // ENTRY_BYTES)
+
+
+__all__ = ["DGAPConfig"]

@@ -1,0 +1,11 @@
+"""DGAP core: the paper's primary contribution.
+
+Mutable-CSR (VCSR/PMA) edge array on persistent memory with per-section
+edge logs, per-thread undo logs, DRAM-placed vertex metadata,
+consistent-view snapshots and crash recovery.
+"""
+
+from .dgap import DGAP
+from .snapshot import DGAPSnapshot
+
+__all__ = ["DGAP", "DGAPSnapshot"]

@@ -1,0 +1,478 @@
+"""The DGAP framework facade (paper §3).
+
+One :class:`DGAP` instance owns:
+
+* ① a DRAM **vertex array** (degree / start / edge-log pointer);
+* ② a PM **edge array** — a VCSR-style packed memory array with pivot
+  elements and insertion-ordered runs;
+* ③ **per-section edge logs** absorbing would-be nearby shifts;
+* ④ **per-thread undo logs** making rebalancing crash-consistent;
+
+plus the PMA density tree, per-section locks, the pool root flags
+(``NORMAL_SHUTDOWN``, edge-array generation) and the recovery logic.
+
+Typical use::
+
+    g = DGAP(DGAPConfig(init_vertices=1_000, init_edges=50_000))
+    g.insert_edges(stream)              # (src, dst) pairs
+    with g.consistent_view() as snap:   # Degree-Cache snapshot
+        ranks = pagerank(snap)
+    g.shutdown()                        # graceful: fast restart
+    g2 = DGAP.open(g.pool, g.config)    # reload (or crash-recover)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from ..config import DGAPConfig
+from ..errors import GraphError, OutOfPMemError, VertexRangeError
+from ..pmem.crash import CrashInjector
+from ..pmem.pool import PMemPool
+from ..pmem.tx import TransactionManager
+from .edge_array import EdgeArray
+from .edge_log import EdgeLogs
+from .encoding import MAX_VERTEX, SLOT_DTYPE, encode_edge, encode_pivot
+from .locks import SectionLockTable
+from .pma_tree import DensityBounds
+from .rebalance import (
+    ROOT_EPS,
+    ROOT_GEN,
+    ROOT_INIT_CAP,
+    ROOT_NTHREADS,
+    ROOT_NV_HINT,
+    ROOT_SEGSLOTS,
+    ROOT_SHUTDOWN,
+    Rebalancer,
+)
+from .snapshot import DGAPSnapshot
+from .undo_log import UndoLog
+from .vertex_array import make_vertex_array
+
+
+def _next_pow2(n: int) -> int:
+    return 1 << max(0, (n - 1).bit_length())
+
+
+class DGAP:
+    """Dynamic Graph Analysis framework on (simulated) Persistent memory."""
+
+    def __init__(
+        self,
+        config: Optional[DGAPConfig] = None,
+        pool: Optional[PMemPool] = None,
+        injector: Optional[CrashInjector] = None,
+    ):
+        self.config = config or DGAPConfig()
+        cfg = self.config
+        capacity = self._initial_capacity(cfg)
+        if pool is None:
+            pool = PMemPool(
+                cfg.pool_bytes or self._auto_pool_bytes(cfg, capacity),
+                profile=cfg.profile,
+                name="dgap",
+                injector=injector,
+            )
+        self.pool = pool
+        self._bounds = DensityBounds(cfg.tau_leaf, cfg.tau_root, cfg.rho_leaf, cfg.rho_root)
+
+        self.ea = EdgeArray(
+            pool, capacity, cfg.segment_slots, self._bounds,
+            gen=0, create=True, pm_metadata=not cfg.dram_placement,
+        )
+        self.logs = EdgeLogs(pool, self.ea.n_sections, cfg.elog_entries, gen=0)
+        self.ulogs = [UndoLog(pool, t, cfg.ulog_size) for t in range(cfg.writer_threads)]
+        self.tx_mgr: Optional[TransactionManager] = None
+        if not cfg.use_undo_log:
+            self._make_tx_mgr(capacity)
+        self.va = make_vertex_array(cfg.init_vertices, cfg.dram_placement, pool)
+        self.locks = SectionLockTable(self.ea.n_sections)
+        self.rebalancer = Rebalancer(self)
+
+        # operation counters (DRAM, informational)
+        self.n_edges_inserted = 0
+        self.n_log_inserts = 0
+        self.n_array_inserts = 0
+        self.n_shift_inserts = 0
+        self.n_rebalances = 0
+        self.n_resizes = 0
+        self.slots_rebalanced = 0
+        self._active_snapshots = 0
+
+        self._cow_cache = None
+        #: rebalance windows of the current op (consumed by the virtual-
+        #: thread scheduler when track_rebalance_windows is set)
+        self.track_rebalance_windows = False
+        self.op_rebalance_windows: list = []
+        self._seed_pivots()
+        if cfg.cow_degree_cache:
+            self._init_cow_cache()
+        self._write_geometry_roots()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _initial_capacity(cfg: DGAPConfig) -> int:
+        need = int((cfg.init_edges + cfg.init_vertices) * cfg.overprovision)
+        n_seg = _next_pow2(max(1, (need + cfg.segment_slots - 1) // cfg.segment_slots))
+        return n_seg * cfg.segment_slots
+
+    @staticmethod
+    def _auto_pool_bytes(cfg: DGAPConfig, capacity: int) -> int:
+        # Headroom for several copy-on-write resize generations, the
+        # per-section edge logs of each, scratch areas and the undo logs.
+        slot_bytes = capacity * 4
+        elog_bytes = (capacity // cfg.segment_slots) * cfg.elog_size
+        per_gen = slot_bytes * 3 + elog_bytes * 2
+        return max(1 << 20, per_gen * 16 + cfg.writer_threads * (cfg.ulog_size + 4096) + (1 << 20))
+
+    def _make_tx_mgr(self, capacity: int) -> None:
+        name = f"pmdk-journal.g{self.ea.gen if hasattr(self, 'ea') else 0}"
+        self.tx_mgr = TransactionManager(self.pool, capacity=capacity * 4 + 64 * 1024, name=name)
+
+    def _seed_pivots(self) -> None:
+        """Place every initial vertex's pivot, evenly spaced (paper §3 ②)."""
+        nv = self.va.num_vertices
+        cap = self.ea.capacity
+        if nv > cap:
+            raise GraphError("init_vertices exceeds edge-array capacity")
+        image = np.zeros(cap, dtype=SLOT_DTYPE)
+        ids = np.arange(nv, dtype=np.int64)
+        pos = ids * cap // nv
+        image[pos] = -(ids + 1)
+        self.pool.device.ntstore(self.ea.region.offset, image.view(np.uint8), payload=0)
+        self.pool.device.sfence()
+        starts = pos + 1
+        zeros = np.zeros(nv, dtype=np.int64)
+        self.va.bulk_load(starts, zeros, zeros.copy(), zeros.copy(), np.full(nv, -1, np.int64))
+        self.ea.recount_all()
+
+    def _write_geometry_roots(self) -> None:
+        p = self.pool
+        p.write_root(ROOT_GEN, 0)
+        p.write_root(ROOT_SEGSLOTS, self.config.segment_slots)
+        p.write_root(ROOT_INIT_CAP, self.ea.capacity)
+        p.write_root(ROOT_EPS, self.config.elog_entries)
+        p.write_root(ROOT_NTHREADS, self.config.writer_threads)
+        p.write_root(ROOT_NV_HINT, self.va.num_vertices)
+        p.write_root(ROOT_SHUTDOWN, 0)
+
+    def _init_cow_cache(self) -> None:
+        from .degree_cache import CoWDegreeCache
+
+        self._cow_cache = CoWDegreeCache(self.va.degrees(), self.va.live_degrees())
+
+    def _sync_degree(self, v: int) -> None:
+        """Mirror one vertex's degree into the CoW Degree Cache."""
+        if self._cow_cache is not None:
+            if v >= self._cow_cache.num_vertices:
+                self._cow_cache.grow(self.va.num_vertices)
+            self._cow_cache.set(v, int(self.va.degree[v]), int(self.va.live_degree[v]))
+
+    # ------------------------------------------------------------------
+    # rebalancer callbacks
+    # ------------------------------------------------------------------
+    def stats_note_rebalance(self, slots: int) -> None:
+        self.n_rebalances += 1
+        self.slots_rebalanced += slots
+
+    def note_rebalance_window(self, lo_slot: int, hi_slot: int) -> None:
+        if self.track_rebalance_windows:
+            self.op_rebalance_windows.append((lo_slot, hi_slot))
+
+    def stats_note_resize(self, new_capacity: int) -> None:
+        self.n_resizes += 1
+        self.locks.resize(self.ea.n_sections)
+        if self.tx_mgr is not None:
+            self._make_tx_mgr(new_capacity)
+
+    # ------------------------------------------------------------------
+    # graph updates (paper §3.1.2)
+    # ------------------------------------------------------------------
+    def insert_vertex(self, v: int) -> None:
+        """Ensure vertex ids ``0..v`` exist (``g.insertV``)."""
+        if v > MAX_VERTEX:
+            raise VertexRangeError(f"vertex {v} exceeds encodable maximum {MAX_VERTEX}")
+        va = self.va
+        while va.num_vertices <= v:
+            u = va.num_vertices
+            last = u - 1
+            pos = int(va.start[last] + va.array_degree[last])
+            if pos >= self.ea.capacity:
+                self.rebalancer.resize()
+                continue
+            if self.ea.slots[pos] != 0:
+                raise GraphError("tail slot unexpectedly occupied")
+            self.ea.write_slot(pos, encode_pivot(u), payload=4, persist=True)
+            va.grow(u + 1)
+            va.set_start(u, pos + 1)
+            va.set_el(u, -1)
+            self._sync_degree(u)
+            self.ea.inc_occ(self.ea.section_of(pos))
+            self.pool.write_root(ROOT_NV_HINT, va.num_vertices)
+
+    def insert_edge(self, src: int, dst: int, thread_id: int = 0, tombstone: bool = False) -> None:
+        """Insert directed edge ``src -> dst`` (``g.insertE``).
+
+        Deletion re-inserts the edge with the tombstone flag set
+        (:meth:`delete_edge`).  The PM write is persisted *before* the
+        DRAM vertex array is touched, so a crash in between is always
+        recoverable from the persistent state.
+        """
+        va = self.va
+        nv = va.num_vertices
+        if src >= nv or dst >= nv:
+            self.insert_vertex(max(src, dst))
+        cfg = self.config
+        locked = cfg.thread_safe
+        st = int(va.start[src])
+        sec_pivot = self.ea.section_of(st - 1)
+        if locked:
+            self.locks.acquire(sec_pivot)
+        try:
+            self._insert_edge_inner(src, dst, thread_id, tombstone)
+        finally:
+            if locked:
+                self.locks.release(sec_pivot)
+
+    def _insert_edge_inner(self, src: int, dst: int, thread_id: int, tombstone: bool) -> None:
+        va, ea, logs, cfg = self.va, self.ea, self.logs, self.config
+        enc = encode_edge(dst, tombstone)
+        pos = int(va.start[src] + va.array_degree[src])
+        live_delta = -1 if tombstone else 1
+
+        if pos < ea.capacity and ea.slots[pos] == 0:
+            # Fast path: the slot after the run is a gap — atomic insert.
+            ea.write_slot(pos, enc, payload=4, persist=True)
+            va.set_array_degree(src, int(va.array_degree[src]) + 1)
+            va.set_degree(src, int(va.degree[src]) + 1)
+            va.set_live_degree(src, int(va.live_degree[src]) + live_delta)
+            ea.inc_occ(ea.section_of(pos))
+            self._sync_degree(src)
+            self.n_array_inserts += 1
+            self.n_edges_inserted += 1
+            # No density check here: a gap insert cannot overflow anything.
+            # Rebalancing is driven by the edge logs (merge at 90%/full) and
+            # by capacity (resize) — see §3 ③: "rebalancing might be
+            # triggered if either the edge array or edge log is approaching
+            # full capacity".
+            return
+
+        if not cfg.use_edge_log:
+            # Ablation "No EL": the naive mutable-CSR nearby shift.
+            self._insert_with_shift(src, enc, live_delta, thread_id)
+            return
+
+        sec = ea.section_of(int(va.start[src]) - 1)
+        if logs.counts[sec] >= logs.capacity:
+            # Log completely full (merge threshold was deferred): force a merge.
+            self.rebalancer.merge_section(sec, thread_id)
+            self._insert_edge_inner(src, dst, thread_id, tombstone)
+            return
+        gidx = logs.append(sec, src, int(enc), int(va.el[src]))
+        va.set_el(src, gidx)
+        va.set_degree(src, int(va.degree[src]) + 1)
+        va.set_live_degree(src, int(va.live_degree[src]) + live_delta)
+        self._sync_degree(src)
+        self.n_log_inserts += 1
+        self.n_edges_inserted += 1
+        if logs.fill_fraction(sec) >= cfg.elog_merge_fraction:
+            self.rebalancer.merge_section(sec, thread_id)
+
+    def _insert_with_shift(self, src: int, enc: int, live_delta: int, thread_id: int) -> None:
+        """Naive PMA insert: shift the occupied range right to open a gap.
+
+        This is the write-amplification path of Fig. 1(a) — every
+        element between the insertion point and the next gap is
+        rewritten and persisted.  Protected by the undo log (or a PMDK
+        transaction under "No EL&UL").
+        """
+        va, ea = self.va, self.ea
+        pos = int(va.start[src] + va.array_degree[src])
+        if pos >= ea.capacity:
+            self.rebalancer.resize(thread_id)
+            return self._insert_with_shift(src, enc, live_delta, thread_id)
+        slots = ea.slots
+        # find the first gap at or after pos
+        g = pos
+        cap = ea.capacity
+        while g < cap and slots[g] != 0:
+            g += 1
+        if g >= cap:
+            self.rebalancer.resize(thread_id)
+            return self._insert_with_shift(src, enc, live_delta, thread_id)
+
+        dev = self.pool.device
+        nbytes = (g - pos + 1) * 4
+        if self.config.use_undo_log and nbytes <= self.ulogs[thread_id].capacity:
+            # Common case: the paper's fused backup-then-shift protocol.
+            ulog = self.ulogs[thread_id]
+            ulog.snapshot_window(pos, g + 1, ea.byte_off(pos), nbytes)
+            self._do_shift(pos, g, enc)
+            # Nothing was merged: finishing directly is safe — a crash
+            # before it restores the backup (the unacknowledged insert
+            # simply never happened) and re-issues a window rebalance.
+            ulog.finish()
+        else:
+            # Long shift (dense run longer than ULOG_SZ) or the PMDK-TX
+            # ablation: write the shifted image through the protected
+            # window writer.  Edge logs are unused in "No EL" mode, so
+            # the copyback DONE protocol's log cleanup is a no-op.
+            image = np.empty(g - pos + 1, dtype=SLOT_DTYPE)
+            image[0] = enc
+            image[1:] = ea.slots[pos:g]
+            self.rebalancer.write_window_protected(pos, g + 1, image, thread_id)
+            if self.config.use_undo_log:
+                ulog = self.ulogs[thread_id]
+                ulog.mark_done(pos, pos)
+                ulog.finish()
+
+        # DRAM metadata: shifted runs (pivots in (pos, g]) moved right by one.
+        starts = va.starts()
+        pivots = starts - 1
+        lo_i = int(np.searchsorted(pivots, pos, side="left"))
+        hi_i = int(np.searchsorted(pivots, g + 1, side="left"))
+        for u in range(lo_i, hi_i):
+            va.set_start(u, int(va.start[u]) + 1)
+        va.set_array_degree(src, int(va.array_degree[src]) + 1)
+        va.set_degree(src, int(va.degree[src]) + 1)
+        va.set_live_degree(src, int(va.live_degree[src]) + live_delta)
+        self._sync_degree(src)
+        ea.recount(pos, g + 1)
+        self.n_shift_inserts += 1
+        self.n_edges_inserted += 1
+        self.rebalancer.maybe_rebalance(ea.section_of(pos), thread_id)
+
+    def _do_shift(self, pos: int, gap: int, enc: int) -> None:
+        """Move ``slots[pos:gap]`` one to the right and write ``enc`` at ``pos``."""
+        ea = self.ea
+        dev = self.pool.device
+        if gap > pos:
+            moved = ea.slots[pos:gap].copy()
+            dev.store(ea.byte_off(pos + 1), moved.view(np.uint8), payload=0)
+        dev.store(ea.byte_off(pos), np.asarray(enc, dtype=SLOT_DTYPE).tobytes(), payload=4)
+        dev.persist(ea.byte_off(pos), (gap - pos + 1) * 4)
+
+    def insert_edges(
+        self, edges: Iterable[Tuple[int, int]], thread_id: int = 0
+    ) -> int:
+        """Bulk insert; returns the number of edges inserted."""
+        n = 0
+        for s, d in edges:
+            self.insert_edge(int(s), int(d), thread_id=thread_id)
+            n += 1
+        return n
+
+    def delete_edge(self, src: int, dst: int, thread_id: int = 0) -> None:
+        """Delete one occurrence of ``src -> dst`` (tombstone insertion, §3.1.2)."""
+        self.insert_edge(src, dst, thread_id=thread_id, tombstone=True)
+
+    # ------------------------------------------------------------------
+    # graph analysis (paper §3.1.3)
+    # ------------------------------------------------------------------
+    def consistent_view(self) -> DGAPSnapshot:
+        """Snapshot the Degree Cache for an analysis task (``g.consistent_view``)."""
+        return DGAPSnapshot(self)
+
+    def _snapshot_opened(self, snap) -> None:
+        self._active_snapshots += 1
+
+    def _snapshot_closed(self, snap) -> None:
+        self._active_snapshots -= 1
+
+    @property
+    def num_vertices(self) -> int:
+        return self.va.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Live (tombstone-adjusted) edge count."""
+        return int(self.va.live_degrees().sum())
+
+    def out_degree(self, v: int) -> int:
+        self.va.check(v)
+        return int(self.va.live_degree[v])
+
+    def out_neighbors(self, v: int) -> np.ndarray:
+        """Current live neighbors of ``v`` (unsnapshotted convenience read)."""
+        with self.consistent_view() as snap:
+            return snap.out_neighbors(v)
+
+    # ------------------------------------------------------------------
+    # shutdown / reopen (paper §3.1.5)
+    # ------------------------------------------------------------------
+    _META_FIELDS = ("start", "degree", "array_degree", "live_degree", "el")
+
+    def shutdown(self) -> None:
+        """Graceful shutdown: persist DRAM components, set NORMAL_SHUTDOWN."""
+        if self._active_snapshots:
+            raise GraphError("shutdown with active analysis snapshots")
+        nv = self.va.num_vertices
+        for f in self._META_FIELDS:
+            name = f"meta.{f}"
+            if self.pool.has_array(name):
+                self.pool.drop_array(name)
+            region = self.pool.alloc_array(name, np.int64, nv)
+            region.nt_write_slice(0, getattr(self.va, f)[:nv])
+        self.pool.device.sfence()
+        self.pool.write_root(ROOT_NV_HINT, nv)
+        self.pool.device.drain_all()
+        self.pool.write_root(ROOT_SHUTDOWN, 1)
+
+    @classmethod
+    def open(cls, pool: PMemPool, config: Optional[DGAPConfig] = None) -> "DGAP":
+        """Reopen a DGAP from its pool: fast path after a graceful
+        shutdown, full recovery (§3.1.5) after a crash."""
+        from .recovery import open_from_pool
+
+        return open_from_pool(cls, pool, config)
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify the PMA structural invariants; raises ``GraphError``.
+
+        Checked: pivot ids dense and strictly increasing; every run
+        contiguous (no embedded gaps) and gap-terminated; DRAM occupancy
+        bookkeeping consistent with the persistent array; per-vertex
+        degree = array part + live edge-log chain.  Used by tests and
+        available to applications after recovery.
+        """
+        slots = self.ea.slots
+        ppos = np.flatnonzero(slots < 0)
+        vids = -slots[ppos].astype(np.int64) - 1
+        nv = self.va.num_vertices
+        if vids.size != nv or not np.array_equal(vids, np.arange(nv)):
+            raise GraphError("pivot id space is not dense/ordered")
+        if not np.array_equal(ppos + 1, self.va.starts()):
+            raise GraphError("DRAM starts disagree with pivots")
+        ends = np.append(ppos[1:], self.ea.capacity)
+        for v in range(nv):
+            st = int(self.va.start[v])
+            ad = int(self.va.array_degree[v])
+            if st + ad > int(ends[v]):
+                raise GraphError(f"run of vertex {v} overlaps its successor")
+            if not (slots[st : st + ad] > 0).all():
+                raise GraphError(f"run of vertex {v} has embedded gaps")
+            if not (slots[st + ad : int(ends[v])] == 0).all():
+                raise GraphError(f"trailing region of vertex {v} is not gaps")
+            el = int(self.va.el[v])
+            chain_len = len(self.logs.walk_chain(el)) if el >= 0 else 0
+            if ad + chain_len != int(self.va.degree[v]):
+                raise GraphError(f"degree bookkeeping of vertex {v} inconsistent")
+        occ = self.ea.seg_occ.copy()
+        self.ea.recount_all()
+        if not np.array_equal(occ, self.ea.seg_occ):
+            raise GraphError("section occupancy bookkeeping stale")
+
+    # Placeholder populated by recovery (bypasses __init__).
+    @classmethod
+    def _blank(cls) -> "DGAP":
+        return cls.__new__(cls)
+
+
+__all__ = ["DGAP"]

@@ -1,0 +1,177 @@
+"""Per-section edge logs (paper §3 ③).
+
+One pre-allocated, fixed-size (``ELOG_SZ``, default 2 KB) persistent log
+per PMA leaf section.  When an edge insertion would require a *nearby
+shift* in the edge array (its slot is occupied), the edge is appended
+here instead — a single small sequential persistent write — and merged
+back into the array in batch during the next rebalance, eliminating the
+write amplification of Fig. 1(a).
+
+Entry layout (12 bytes, matching the paper): ``(src, dst_enc, back)``
+as three int32s.
+
+* ``src`` — source vertex id;
+* ``dst_enc`` — the destination encoded as in the edge array
+  (``dst+1``, optionally ``| TOMB_BIT``); 0 marks an invalid/empty
+  entry, which is how recovery finds the append frontier without a
+  persistent per-log counter (counters would be in-place PM updates —
+  exactly what DGAP avoids);
+* ``back`` — 1 + global index of the *previous* entry of the same
+  source vertex (0 = none), forming the newest-first back-pointer chain
+  whose head lives in the DRAM vertex array (``el_v``).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import PMemError
+from ..pmem.pool import PMemPool
+
+ENTRY_BYTES = 12
+_FIELDS = 3  # src, dst_enc, back
+
+
+class EdgeLogs:
+    """All per-section logs of one edge-array generation, in one region."""
+
+    def __init__(
+        self,
+        pool: PMemPool,
+        n_sections: int,
+        entries_per_section: int,
+        gen: int = 0,
+        create: bool = True,
+    ):
+        self.pool = pool
+        self.n_sections = n_sections
+        self.entries_per_section = entries_per_section
+        self.gen = gen
+        name = f"elogs.g{gen}"
+        total = n_sections * entries_per_section * _FIELDS
+        if create:
+            self.region = pool.alloc_array(name, np.int32, total)
+            self.region.fill(0)
+        else:
+            self.region = pool.get_array(name)
+        #: DRAM append cursors (next free entry slot per section).
+        self.counts = np.zeros(n_sections, dtype=np.int64)
+        #: DRAM live (valid, unmerged) entry counts — these contribute to
+        #: section density alongside array elements (paper §3 ③).
+        self.live_counts = np.zeros(n_sections, dtype=np.int64)
+        #: peak fill per section ever observed (Fig. 9's utilization metric).
+        self.peak_counts = np.zeros(n_sections, dtype=np.int64)
+
+    # -- geometry -----------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self.entries_per_section
+
+    def _base(self, section: int) -> int:
+        return section * self.entries_per_section * _FIELDS
+
+    def gidx(self, section: int, slot: int) -> int:
+        return section * self.entries_per_section + slot
+
+    def locate(self, gidx: int) -> Tuple[int, int]:
+        return divmod(gidx, self.entries_per_section)
+
+    def fill_fraction(self, section: int) -> float:
+        return self.counts[section] / self.entries_per_section
+
+    # -- mutation -------------------------------------------------------------
+    def append(self, section: int, src: int, dst_enc: int, back_gidx: int) -> int:
+        """Persistently append one entry; returns its global index.
+
+        ``back_gidx`` is the previous entry of ``src`` (−1 for none).
+        """
+        slot = int(self.counts[section])
+        if slot >= self.entries_per_section:
+            raise PMemError(f"edge log of section {section} is full")
+        entry = np.array([src, dst_enc, back_gidx + 1], dtype=np.int32)
+        pos = self._base(section) + slot * _FIELDS
+        # One small persistent write — sequential within the section's log.
+        self.region.write_slice(pos, entry, payload=4, persist=True)
+        self.counts[section] = slot + 1
+        self.live_counts[section] += 1
+        if slot + 1 > self.peak_counts[section]:
+            self.peak_counts[section] = slot + 1
+        return self.gidx(section, slot)
+
+    def clear_section(self, section: int) -> None:
+        """Reset a section's log after its entries were merged (streaming store)."""
+        pos = self._base(section)
+        n = self.entries_per_section * _FIELDS
+        self.region.nt_write_slice(pos, np.zeros(n, dtype=np.int32))
+        self.region.device.sfence()
+        self.counts[section] = 0
+        self.live_counts[section] = 0
+
+    def invalidate_entries(self, gidxs) -> None:
+        """Zero the ``dst_enc`` field of specific entries (boundary-section merges).
+
+        Invalidation keeps sibling vertices' entries intact while making
+        the merged vertices' entries invisible to readers and recovery.
+        """
+        for g in gidxs:
+            section, slot = self.locate(int(g))
+            pos = self._base(section) + slot * _FIELDS + 1  # dst_enc field
+            self.region.write(pos, 0, payload=0)
+            self.live_counts[section] -= 1
+        if len(gidxs):
+            # One fence orders the batch.
+            for g in gidxs:
+                section, slot = self.locate(int(g))
+                pos = self._base(section) + slot * _FIELDS + 1
+                self.region.clwb(pos, 1)
+            self.region.device.sfence()
+
+    # -- reads -------------------------------------------------------------------
+    def read_entry(self, gidx: int) -> Tuple[int, int, int]:
+        """Return ``(src, dst_enc, back_gidx)`` (back −1 when none)."""
+        section, slot = self.locate(gidx)
+        pos = self._base(section) + slot * _FIELDS
+        e = self.region.view[pos : pos + _FIELDS]
+        return int(e[0]), int(e[1]), int(e[2]) - 1
+
+    def section_entries(self, section: int) -> np.ndarray:
+        """(count, 3) view of a section's appended entries (some may be invalidated)."""
+        base = self._base(section)
+        n = int(self.counts[section])
+        return self.region.view[base : base + n * _FIELDS].reshape(n, _FIELDS)
+
+    def walk_chain(self, head_gidx: int, limit: int = -1) -> list:
+        """Follow back-pointers from ``head_gidx``; newest-first list of
+        ``(gidx, src, dst_enc)``; stops after ``limit`` entries if >= 0."""
+        out = []
+        g = head_gidx
+        while g >= 0 and (limit < 0 or len(out) < limit):
+            src, dst_enc, back = self.read_entry(g)
+            if dst_enc == 0:
+                raise PMemError(f"edge-log chain reached invalidated entry {g}")
+            out.append((g, src, dst_enc))
+            g = back
+        return out
+
+    # -- recovery -----------------------------------------------------------------
+    def rebuild_counts(self) -> None:
+        """Recompute append cursors from persistent bytes (crash recovery).
+
+        The cursor is one past the last non-empty entry: merges
+        invalidate interior entries but never the append frontier.
+        """
+        view = self.region.view.reshape(self.n_sections, self.entries_per_section, _FIELDS)
+        dst = view[:, :, 1]
+        nonzero = dst != 0
+        # highest nonzero index + 1 per section (0 when empty)
+        rev = nonzero[:, ::-1]
+        first = rev.argmax(axis=1)
+        any_valid = nonzero.any(axis=1)
+        self.counts = np.where(any_valid, self.entries_per_section - first, 0).astype(np.int64)
+        self.live_counts = nonzero.sum(axis=1).astype(np.int64)
+        self.pool.device.account_seq_read(self.region.nbytes, bucket="recovery")
+
+
+__all__ = ["EdgeLogs", "ENTRY_BYTES"]

@@ -1,0 +1,97 @@
+"""Slot encoding for the persistent edge array (DESIGN.md §4).
+
+Each edge-array slot is a signed 32-bit value (the paper stores 4-byte
+destination ids; pivots and tombstones are encoded in-band):
+
+* ``0``           — gap (empty slot; freshly zeroed memory is all gaps);
+* ``-(v + 1)``    — pivot element of vertex ``v`` (paper: ``-vertex-id``,
+  shifted by one so vertex 0 has a distinguishable pivot);
+* ``dst + 1``     — a live edge to ``dst``;
+* ``(dst + 1) | TOMB_BIT`` — a tombstoned edge to ``dst`` (paper §3.1.2:
+  deletions re-insert the edge with its first destination bit set).
+
+The ``+1`` shifts keep 0 reserved for gaps; ``TOMB_BIT`` is bit 30 so
+tombstoned values stay positive.  Destination ids must therefore be
+below ``2**30 - 2`` — far beyond any graph this simulator hosts.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+GAP = np.int32(0)
+TOMB_BIT = np.int32(1 << 30)
+MAX_VERTEX = (1 << 30) - 2
+
+SLOT_DTYPE = np.int32
+SLOT_BYTES = 4
+
+
+def encode_pivot(v: int) -> np.int32:
+    return np.int32(-(v + 1))
+
+
+def encode_edge(dst: int, tombstone: bool = False) -> np.int32:
+    val = dst + 1
+    if tombstone:
+        val |= int(TOMB_BIT)
+    return np.int32(val)
+
+
+def decode_pivot(slot: int) -> int:
+    return -int(slot) - 1
+
+
+def decode_edge(slot: int) -> Tuple[int, bool]:
+    """Return ``(dst, is_tombstone)`` for a positive edge slot."""
+    s = int(slot)
+    tomb = bool(s & int(TOMB_BIT))
+    return (s & ~int(TOMB_BIT)) - 1, tomb
+
+
+# -- vectorized helpers --------------------------------------------------
+def is_pivot(slots: np.ndarray) -> np.ndarray:
+    return slots < 0
+
+
+def is_edge(slots: np.ndarray) -> np.ndarray:
+    return slots > 0
+
+
+def is_gap(slots: np.ndarray) -> np.ndarray:
+    return slots == 0
+
+
+def is_tombstone(slots: np.ndarray) -> np.ndarray:
+    return (slots > 0) & ((slots & TOMB_BIT) != 0)
+
+
+def edge_dsts(slots: np.ndarray) -> np.ndarray:
+    """Destination ids of positive (edge) slots — caller pre-filters."""
+    return (slots & ~TOMB_BIT) - 1
+
+
+def pivot_vertices(slots: np.ndarray) -> np.ndarray:
+    """Vertex ids of negative (pivot) slots — caller pre-filters."""
+    return -slots - 1
+
+
+__all__ = [
+    "GAP",
+    "TOMB_BIT",
+    "MAX_VERTEX",
+    "SLOT_DTYPE",
+    "SLOT_BYTES",
+    "encode_pivot",
+    "encode_edge",
+    "decode_pivot",
+    "decode_edge",
+    "is_pivot",
+    "is_edge",
+    "is_gap",
+    "is_tombstone",
+    "edge_dsts",
+    "pivot_vertices",
+]

@@ -1,0 +1,92 @@
+"""Per-section concurrency control (paper §3.1.6).
+
+DGAP keeps one lock (plus a "rebalancing" condition flag) per PMA leaf
+section, all in DRAM — locks are rebuilt from scratch after a crash.
+Writers lock the section of the vertex they insert into; a rebalance
+first raises the section's condition flag, then acquires every affected
+section's lock in ascending order (deadlock-free), runs, and notifies.
+
+Two uses in this reproduction:
+
+* **real threads** — the table wraps ``threading`` primitives, used by
+  the concurrency-correctness tests (the GIL serializes bytecode, not
+  compound critical sections, so the locks are load-bearing);
+* **virtual threads** — the benchmark scheduler
+  (``repro.workloads.vthreads``) reuses the same acquisition *order* to
+  model lock-wait times on its per-thread clocks.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, List
+
+
+class SectionLockTable:
+    """|sections| re-entrant locks with rebalance condition flags."""
+
+    def __init__(self, n_sections: int):
+        self.resize(n_sections)
+
+    def resize(self, n_sections: int) -> None:
+        """(Re)build the table — after init, resize, or crash recovery."""
+        self.n_sections = n_sections
+        self._locks: List[threading.RLock] = [threading.RLock() for _ in range(n_sections)]
+        self._cond = threading.Condition(threading.Lock())
+        self._rebalancing = [False] * n_sections
+
+    # -- single-section write path ------------------------------------------
+    def acquire(self, section: int) -> None:
+        """Block while the section is being rebalanced, then lock it."""
+        with self._cond:
+            while self._rebalancing[section]:
+                self._cond.wait()
+        self._locks[section].acquire()
+
+    def release(self, section: int) -> None:
+        self._locks[section].release()
+
+    def locked(self, section: int):
+        """Context manager for one section."""
+        return _SectionGuard(self, section)
+
+    # -- rebalance path ---------------------------------------------------------
+    def begin_rebalance(self, sections: Iterable[int]) -> List[int]:
+        """Flag and lock a window of sections in ascending order."""
+        secs = sorted(set(sections))
+        with self._cond:
+            self._set_flags(secs, True)
+        for s in secs:
+            self._locks[s].acquire()
+        return secs
+
+    def end_rebalance(self, secs: List[int]) -> None:
+        for s in reversed(secs):
+            self._locks[s].release()
+        with self._cond:
+            self._set_flags(secs, False)
+            self._cond.notify_all()
+
+    def _set_flags(self, secs: Iterable[int], value: bool) -> None:
+        for s in secs:
+            if 0 <= s < self.n_sections:
+                self._rebalancing[s] = value
+
+
+class _SectionGuard:
+    __slots__ = ("table", "section")
+
+    def __init__(self, table: SectionLockTable, section: int):
+        self.table = table
+        self.section = section
+
+    def __enter__(self):
+        self.table.acquire(self.section)
+        return self
+
+    def __exit__(self, *exc):
+        self.table.release(self.section)
+        return False
+
+
+__all__ = ["SectionLockTable"]

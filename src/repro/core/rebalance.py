@@ -1,0 +1,457 @@
+"""Crash-consistent PMA rebalancing and resizing (paper §3.1.4, Fig. 4).
+
+A rebalance (a) picks the smallest PMA window back within its density
+bound, (b) *gathers* every vertex run in the window — merging each
+vertex's pending edge-log chain into its run, in insertion order —
+(c) lays the runs back out with gaps redistributed proportionally to
+run size (the VCSR-style workload weighting), and (d) writes the new
+layout over the window under crash protection:
+
+* **small windows** (≤ ULOG_SZ bytes — the common case and the paper's
+  Fig. 4 scenario): the paper's exact protocol — back the whole window
+  up in the per-thread undo log, then overwrite.  A crash restores the
+  backup and re-issues the rebalance.
+* **large windows**: the final image is first streamed to a persistent
+  scratch area, a redirect record is committed in the undo-log header
+  (state = COPYBACK), then copied over the window in ULOG_SZ chunks.  A
+  crash *redoes* the idempotent copy from scratch.  This deviates from
+  the paper's description (which chunk-backs-up destinations but does
+  not explain how interrupted multi-chunk permutations are replayed —
+  see DESIGN.md §6); it preserves the cost profile (bulk sequential
+  writes, no PMDK journal allocations, O(1) ordering points) while
+  making every crash point provably recoverable, which the crash-sweep
+  tests verify exhaustively.
+
+Edge-log clearing after a merge follows the DONE protocol in
+``undo_log.py``: the window is recorded and state=DONE committed before
+any log is cleared, so clears are idempotent across crashes and a
+half-cleared state can always be completed — entries are never both in
+the array and replayable from a log.
+
+The ``No EL&UL`` ablation (Table 5) replaces all of this with one PMDK
+transaction around the window.  Resizing never moves data in place:
+it's a copy-on-write generation switch committed by a single atomic
+root-pointer update.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import GraphError, OutOfPMemError
+from .edge_array import EdgeArray
+from .edge_log import EdgeLogs
+from .encoding import SLOT_DTYPE, encode_pivot, is_pivot, pivot_vertices
+from .undo_log import (
+    PHASE_COMPACT,
+    STATE_ACTIVE,
+    STATE_COPYBACK,
+    STATE_DONE,
+    STATE_IDLE,
+    UndoLog,
+)
+
+#: Modeled cost of DGAP's element-by-element data movement during
+#: rebalancing (paper §3.1.4: after backing a chunk up, DGAP "initiates
+#: the process of moving and overwriting data element by element").
+#: Charged per slot moved, on top of the bulk store/flush costs — it is
+#: what makes small edge logs (frequent merges) expensive in Fig. 9.
+ELEMENT_MOVE_NS = 22.0
+
+#: Pool root slots used by the edge-array generation protocol.
+ROOT_SHUTDOWN = 0
+ROOT_GEN = 1
+ROOT_SEGSLOTS = 2
+ROOT_INIT_CAP = 3
+ROOT_EPS = 4
+ROOT_NTHREADS = 5
+ROOT_NV_HINT = 6
+
+
+class GatherResult:
+    """Everything known about a window's contents after gathering."""
+
+    __slots__ = ("lo", "hi", "i0", "j", "runs", "chain_gidxs", "total")
+
+    def __init__(self, lo, hi, i0, j, runs, chain_gidxs, total):
+        self.lo = lo
+        self.hi = hi
+        self.i0 = i0
+        self.j = j
+        self.runs: List[np.ndarray] = runs  # per-vertex edge values (no pivot)
+        self.chain_gidxs: List[int] = chain_gidxs
+        self.total = total  # elements incl. pivots
+
+
+class Rebalancer:
+    """Stateless orchestration over a DGAP host (``host.va/ea/logs/ulogs/pool/config``)."""
+
+    def __init__(self, host):
+        self.host = host
+        self._scratch = None  # lazily grown uint8 region for COPYBACK
+        self._scratch_seq = 0
+
+    # ------------------------------------------------------------------
+    # density triggers
+    # ------------------------------------------------------------------
+    def combined_occupancy(self) -> np.ndarray:
+        return self.host.ea.seg_occ + self.host.logs.live_counts
+
+    def maybe_rebalance(self, section: int, thread_id: int = 0) -> bool:
+        """Called after an insertion raised ``section``'s density."""
+        host = self.host
+        ea = host.ea
+        # Scalar fast path: the vast majority of inserts leave the leaf
+        # under its bound — avoid building the full occupancy vector.
+        leaf = int(ea.seg_occ[section]) + int(host.logs.live_counts[section])
+        if leaf <= ea.tree.tau(0) * ea.segment_slots:
+            return False
+        occ = self.combined_occupancy()
+        win = ea.tree.find_rebalance_window(occ, section)
+        if win is None:
+            self.resize(thread_id)
+            return True
+        lo_seg, hi_seg, level = win
+        if level == 0:
+            return False  # section itself back within bounds (tombstone churn)
+        self.rebalance_window(lo_seg, hi_seg, level, thread_id)
+        return True
+
+    def merge_section(self, section: int, thread_id: int = 0) -> None:
+        """Fold a (nearly full) section edge log back into the array (§3 ③)."""
+        ea = self.host.ea
+        occ = self.combined_occupancy()
+        win = ea.tree.find_rebalance_window(occ, section)
+        if win is None:
+            self.resize(thread_id)
+            return
+        lo_seg, hi_seg, level = win
+        self.rebalance_window(lo_seg, hi_seg, level, thread_id)
+
+    # ------------------------------------------------------------------
+    # gather / plan
+    # ------------------------------------------------------------------
+    def _extend(self, lo: int, hi: int) -> Tuple[int, int, int, int]:
+        """Extend slot range to whole-run boundaries; returns (lo, hi, i0, j)."""
+        va = self.host.va
+        n = va.num_vertices
+        starts = va.starts()
+        pivots = starts - 1
+        i0 = int(np.searchsorted(pivots, lo, side="left"))
+        if i0 > 0:
+            prev_end = int(starts[i0 - 1] + va.array_degree[i0 - 1])
+            if prev_end > lo:
+                i0 -= 1
+                lo = int(pivots[i0])
+        j = int(np.searchsorted(pivots, hi, side="left"))
+        if j > i0:
+            last_end = int(starts[j - 1] + va.array_degree[j - 1])
+            hi = max(hi, last_end)
+        return lo, hi, i0, j
+
+    def _gather(self, lo: int, hi: int, i0: int, j: int) -> GatherResult:
+        """Collect runs (array edges + merged log chains) for vertices [i0, j)."""
+        host = self.host
+        va, ea, logs = host.va, host.ea, host.logs
+        slots = ea.slots
+        runs: List[np.ndarray] = []
+        chain_gidxs: List[int] = []
+        total = 0
+        for v in range(i0, j):
+            st = int(va.start[v])
+            ad = int(va.array_degree[v])
+            arr = slots[st : st + ad].copy()
+            el = int(va.el[v])
+            if el >= 0:
+                chain = logs.walk_chain(el)  # newest first
+                if chain and chain[-1][1] != v:
+                    raise GraphError(f"edge-log chain of vertex {v} is corrupt")
+                vals = np.fromiter(
+                    (c[2] for c in reversed(chain)), dtype=SLOT_DTYPE, count=len(chain)
+                )
+                chain_gidxs.extend(c[0] for c in chain)
+                run = np.concatenate([arr, vals])
+            else:
+                run = arr
+            runs.append(run)
+            total += 1 + run.size  # pivot + edges
+        dev = host.pool.device
+        dev.account_seq_read((hi - lo) * 4, bucket="rebalance")
+        if chain_gidxs:
+            dev.account_rnd_read(len(chain_gidxs), 12, bucket="rebalance")
+        return GatherResult(lo, hi, i0, j, runs, chain_gidxs, total)
+
+    def _plan(self, g: GatherResult) -> Tuple[np.ndarray, np.ndarray]:
+        """Final window image + new per-vertex start slots.
+
+        Gaps are distributed proportionally to run size by default
+        (VCSR's workload-aware uneven distribution: hot vertices get
+        more room); ``gap_distribution="uniform"`` switches to the
+        classic PMA/PCSR even split — the design-choice ablation.
+        """
+        W = g.hi - g.lo
+        nv = len(g.runs)
+        sizes = np.fromiter((1 + r.size for r in g.runs), dtype=np.int64, count=nv)
+        T = int(sizes.sum())
+        assert T == g.total and T <= W
+        G = W - T
+        if nv:
+            if self.host.config.gap_distribution == "uniform":
+                gaps = np.full(nv, G // nv, dtype=np.int64)
+                rem = G - int(gaps.sum())
+                gaps[:rem] += 1
+            else:
+                gaps = (G * sizes) // T
+                rem = G - int(gaps.sum())
+                if rem:
+                    order = np.argsort(-sizes, kind="stable")[:rem]
+                    gaps[order] += 1
+        else:
+            gaps = sizes
+        image = np.zeros(W, dtype=SLOT_DTYPE)
+        new_starts = np.zeros(nv, dtype=np.int64)
+        pos = 0
+        for k, run in enumerate(g.runs):
+            image[pos] = encode_pivot(g.i0 + k)
+            image[pos + 1 : pos + 1 + run.size] = run
+            new_starts[k] = g.lo + pos + 1
+            pos += 1 + run.size + int(gaps[k])
+        return image, new_starts
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _get_scratch(self, nbytes: int):
+        if self._scratch is None or self._scratch.count < nbytes:
+            pool = self.host.pool
+            cap = max(nbytes, 64 * 1024)
+            while True:
+                self._scratch_seq += 1
+                name = f"rebal.scratch.{self._scratch_seq}"
+                if not pool.has_array(name):
+                    self._scratch = pool.alloc_array(name, np.uint8, cap)
+                    break
+                # left over from a pre-crash instance: reuse if big enough
+                existing = pool.get_array(name)
+                if existing.count >= nbytes:
+                    self._scratch = existing
+                    break
+        return self._scratch
+
+    def write_window_protected(self, lo: int, hi: int, image: np.ndarray, thread_id: int) -> None:
+        """Crash-consistently overwrite slots ``[lo, hi)`` with ``image``.
+
+        Used by rebalances and by the "No EL" nearby-shift path.  Small
+        windows use the paper's backup-then-overwrite undo-log protocol;
+        large ones the copy-on-write redirect; the "No EL&UL" ablation a
+        PMDK transaction.  The caller owns the undo log's completion
+        protocol (mark_done/finish).
+        """
+        self._execute(lo, hi, image, thread_id)
+
+    def _execute(self, lo: int, hi: int, image: np.ndarray, thread_id: int) -> None:
+        host = self.host
+        dev = host.pool.device
+        ea = host.ea
+        nbytes = (hi - lo) * 4
+        img8 = np.ascontiguousarray(image).view(np.uint8)
+        dst = ea.byte_off(lo)
+
+        if not host.config.use_undo_log:
+            # Ablation "No EL&UL": one PMDK transaction around the window.
+            dev.account_ns((hi - lo) * ELEMENT_MOVE_NS, bucket="rebalance-move")
+            with host.tx_mgr.tx() as t:
+                t.add(dst, nbytes)
+                dev.store(dst, img8, payload=0)
+                dev.persist(dst, nbytes)
+            return
+
+        ulog: UndoLog = host.ulogs[thread_id]
+        dev.account_ns((hi - lo) * ELEMENT_MOVE_NS, bucket="rebalance-move")
+        if nbytes <= ulog.capacity:
+            # Paper protocol: backup destination, then overwrite.
+            ulog.snapshot_window(lo, hi, dst, nbytes)
+            dev.store(dst, img8, payload=0)
+            dev.persist(dst, nbytes)
+        else:
+            # Copy-on-write redirect for windows larger than ULOG_SZ.
+            scratch = self._get_scratch(nbytes)
+            dev.ntstore(scratch.offset, img8, payload=0)
+            dev.sfence()
+            ulog.begin_copyback(lo, hi, scratch.offset, nbytes)
+            self._copy_scratch(scratch.offset, dst, nbytes, ulog)
+
+    def _copy_scratch(self, src_off: int, dst_off: int, nbytes: int, ulog: UndoLog) -> None:
+        dev = self.host.pool.device
+        chunk = ulog.capacity
+        pos = 0
+        while pos < nbytes:
+            n = min(chunk, nbytes - pos)
+            data = dev.buf[src_off + pos : src_off + pos + n].copy()
+            dev.store(dst_off + pos, data, payload=0)
+            dev.clwb(dst_off + pos, n)
+            pos += n
+        dev.sfence()
+
+    def _clears_by_window(self, lo: int, hi: int) -> None:
+        """Idempotent post-merge edge-log cleanup for window slots [lo, hi).
+
+        Fully-covered sections' logs are cleared wholesale; boundary
+        (partially covered) sections keep sibling vertices' entries and
+        only the merged vertices' entries are invalidated.  Merged
+        vertices are identified positionally (pivot inside the window),
+        so this can run during crash recovery with no DRAM metadata.
+        """
+        host = self.host
+        ea, logs = host.ea, host.logs
+        S = ea.segment_slots
+        s_lo, s_hi = lo // S, (hi + S - 1) // S
+        full_lo = (lo + S - 1) // S
+        full_hi = hi // S
+        window_slots = ea.slots[lo:hi]
+        merged = set(pivot_vertices(window_slots[is_pivot(window_slots)]).tolist())
+        for s in range(s_lo, s_hi):
+            if full_lo <= s < full_hi:
+                if logs.counts[s] or logs.region.view[
+                    logs._base(s) : logs._base(s) + 3
+                ].any():
+                    logs.clear_section(s)
+                else:
+                    logs.counts[s] = 0
+                    logs.live_counts[s] = 0
+            else:
+                entries = logs.section_entries(s)
+                if entries.size == 0:
+                    continue
+                bad = [
+                    logs.gidx(s, k)
+                    for k in range(entries.shape[0])
+                    if entries[k, 1] != 0 and int(entries[k, 0]) in merged
+                ]
+                if bad:
+                    logs.invalidate_entries(bad)
+
+    def _apply_dram(self, g: GatherResult, new_starts: np.ndarray) -> None:
+        va = self.host.va
+        i0, j = g.i0, g.j
+        n = j - i0
+        if n == 0:
+            return
+        deg = va.degree[i0:j].copy()
+        live = va.live_degree[i0:j].copy()
+        el = np.full(n, -1, dtype=np.int64)
+        va.update_window(i0, j, new_starts, deg, deg.copy(), live, el)
+
+    # ------------------------------------------------------------------
+    # top-level operations
+    # ------------------------------------------------------------------
+    def rebalance_window(self, lo_seg: int, hi_seg: int, level: int, thread_id: int = 0) -> None:
+        host = self.host
+        ea = host.ea
+        S = ea.segment_slots
+        while True:
+            lo, hi = lo_seg * S, hi_seg * S
+            lo, hi, i0, j = self._extend(lo, hi)
+            if i0 == j:
+                return  # nothing but gaps in the window
+            g = self._gather(lo, hi, i0, j)
+            if g.total <= (hi - lo):
+                break
+            # window can't hold its own contents (boundary extension):
+            # escalate a level, or resize when already at the root.
+            if level >= ea.tree.height:
+                self.resize(thread_id)
+                return
+            level += 1
+            lo_seg, hi_seg = ea.tree.window_at(lo_seg, level)
+
+        image, new_starts = self._plan(g)
+        self._execute(g.lo, g.hi, image, thread_id)
+
+        if host.config.use_undo_log:
+            ulog = host.ulogs[thread_id]
+            ulog.mark_done(g.lo, g.hi)
+            self._clears_by_window(g.lo, g.hi)
+            ulog.finish()
+        else:
+            self._clears_by_window(g.lo, g.hi)
+        self._apply_dram(g, new_starts)
+        ea.recount(g.lo, g.hi)
+        host.stats_note_rebalance(g.hi - g.lo)
+        if getattr(host, "track_rebalance_windows", False):
+            host.note_rebalance_window(g.lo, g.hi)
+
+    def resize(self, thread_id: int = 0) -> None:
+        """Copy-on-write generation switch to a (at least) doubled array."""
+        host = self.host
+        ea, va = host.ea, host.va
+        # Gather the whole array.
+        lo, hi, i0, j = self._extend(0, ea.capacity)
+        g = self._gather(0, ea.capacity, i0, j)
+        new_cap = ea.capacity
+        target = host.config.tau_root * 0.75
+        while g.total > new_cap * target:
+            new_cap *= 2
+        if new_cap == ea.capacity:
+            new_cap *= 2
+
+        gen = ea.gen + 1
+        new_ea = EdgeArray(
+            host.pool,
+            new_cap,
+            ea.segment_slots,
+            ea.tree.bounds,
+            gen=gen,
+            create=True,
+            pm_metadata=ea.pm_metadata,
+        )
+        new_logs = EdgeLogs(
+            host.pool, new_ea.n_sections, host.logs.entries_per_section, gen=gen, create=True
+        )
+        # Lay out into the new generation (sequential streaming store).
+        g2 = GatherResult(0, new_cap, g.i0, g.j, g.runs, g.chain_gidxs, g.total)
+        image, new_starts = self._plan(g2)
+        host.pool.device.ntstore(new_ea.region.offset, image.view(np.uint8), payload=0)
+        host.pool.device.sfence()
+        # Commit point: the atomic generation switch.
+        host.pool.write_root(ROOT_GEN, gen)
+
+        host.ea = new_ea
+        host.logs = new_logs
+        self._apply_dram(g2, new_starts)
+        new_ea.recount_all()
+        host.stats_note_resize(new_cap)
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+    def recover_ulog(self, ulog: UndoLog) -> Optional[Tuple[int, int]]:
+        """Complete or unwind whatever one undo log was doing at the crash.
+
+        Returns a window (lo, hi) that should be *re-issued* after the
+        DRAM metadata is rebuilt, or None.
+        """
+        h = ulog.read_header()
+        if h.state == STATE_IDLE:
+            return None
+        if h.state == STATE_ACTIVE:
+            ulog.restore_if_valid()
+            ulog.finish()
+            return (h.win_lo, h.win_hi)
+        if h.state == STATE_COPYBACK:
+            self._copy_scratch(h.dst_off, self.host.ea.byte_off(h.win_lo), h.length, ulog)
+            ulog.mark_done(h.win_lo, h.win_hi)
+            self._clears_by_window(h.win_lo, h.win_hi)
+            ulog.finish()
+            return None
+        if h.state == STATE_DONE:
+            self._clears_by_window(h.done_lo, h.done_hi)
+            ulog.finish()
+            return None
+        raise GraphError(f"undo log {ulog.thread_id} in unknown state {h.state}")
+
+
+__all__ = ["Rebalancer", "GatherResult", "ROOT_SHUTDOWN", "ROOT_GEN", "ROOT_SEGSLOTS",
+           "ROOT_INIT_CAP", "ROOT_EPS", "ROOT_NTHREADS", "ROOT_NV_HINT"]

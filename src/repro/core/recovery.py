@@ -1,0 +1,229 @@
+"""Shutdown/reboot and crash recovery (paper §3.1.5).
+
+``open_from_pool`` dispatches on the persistent ``NORMAL_SHUTDOWN``
+flag:
+
+* **normal restart** — the DRAM vertex array and PMA metadata were
+  persisted at shutdown; load them back (one sequential read) and go.
+* **crash recovery** — in order:
+
+  1. roll back an interrupted PMDK transaction (the "No EL&UL"
+     ablation's protection);
+  2. rebuild the edge-log append cursors from the log bytes;
+  3. complete or unwind every per-thread undo log (restore the chunk
+     backup / redo the copy-on-write / finish pending log clears);
+  4. scan the edge array pivots to reconstruct the vertex array
+     (starts, array degrees, tombstone-adjusted live degrees);
+  5. replay the edge logs to restore degrees and ``el_v`` chain heads;
+  6. recount section occupancy and re-issue any interrupted rebalance.
+
+Every step reads persistent state only; costs accrue to the pool's
+modeled clock under the ``recovery`` bucket, which is what the §4.4
+recovery evaluation reports.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..config import DGAPConfig
+from ..errors import RecoveryError
+from ..pmem.pool import PMemPool
+from ..pmem.tx import TransactionManager
+from .edge_array import EdgeArray
+from .edge_log import ENTRY_BYTES, EdgeLogs
+from .encoding import TOMB_BIT
+from .locks import SectionLockTable
+from .pma_tree import DensityBounds
+from .rebalance import (
+    ROOT_EPS,
+    ROOT_GEN,
+    ROOT_NTHREADS,
+    ROOT_NV_HINT,
+    ROOT_SEGSLOTS,
+    ROOT_SHUTDOWN,
+    Rebalancer,
+)
+from .undo_log import UndoLog
+from .vertex_array import make_vertex_array
+
+
+def open_from_pool(cls, pool: PMemPool, config: Optional[DGAPConfig] = None):
+    """Reconstruct a DGAP instance from a pool (normal or crash path)."""
+    host = cls._blank()
+    host.config = config or DGAPConfig()
+    cfg = host.config
+    host.pool = pool
+
+    seg_slots = pool.read_root(ROOT_SEGSLOTS)
+    eps = pool.read_root(ROOT_EPS)
+    nthreads = pool.read_root(ROOT_NTHREADS)
+    gen = pool.read_root(ROOT_GEN)
+    if seg_slots == 0 or eps == 0:
+        raise RecoveryError("pool does not contain a DGAP image (missing geometry roots)")
+
+    host._bounds = DensityBounds(cfg.tau_leaf, cfg.tau_root, cfg.rho_leaf, cfg.rho_root)
+    edges_region = pool.get_array(f"edges.g{gen}")
+    capacity = edges_region.count
+    host.ea = EdgeArray(
+        pool, capacity, seg_slots, host._bounds,
+        gen=gen, create=False, pm_metadata=not cfg.dram_placement,
+    )
+    host.logs = EdgeLogs(pool, host.ea.n_sections, eps, gen=gen, create=False)
+    host.ulogs = [UndoLog(pool, t, cfg.ulog_size, create=False) for t in range(nthreads)]
+    host.tx_mgr = None
+    if not cfg.use_undo_log:
+        host.tx_mgr = TransactionManager(pool, name=f"pmdk-journal.g{gen}")
+
+    host.n_edges_inserted = 0
+    host.n_log_inserts = 0
+    host.n_array_inserts = 0
+    host.n_shift_inserts = 0
+    host.n_rebalances = 0
+    host.n_resizes = 0
+    host.slots_rebalanced = 0
+    host._active_snapshots = 0
+    host.rebalancer = Rebalancer(host)
+
+    if pool.read_root(ROOT_SHUTDOWN) == 1:
+        _normal_restart(host)
+    else:
+        crash_recover(host)
+
+    host._cow_cache = None
+    host.track_rebalance_windows = False
+    host.op_rebalance_windows = []
+    if cfg.cow_degree_cache:
+        host._init_cow_cache()
+    host.locks = SectionLockTable(host.ea.n_sections)
+    pool.write_root(ROOT_SHUTDOWN, 0)
+    return host
+
+
+def _normal_restart(host) -> None:
+    """Load the metadata persisted by a graceful shutdown."""
+    pool = host.pool
+    nv = pool.read_root(ROOT_NV_HINT)
+    host.va = make_vertex_array(nv, host.config.dram_placement, pool)
+    fields = {}
+    nbytes = 0
+    for f in ("start", "degree", "array_degree", "live_degree", "el"):
+        region = pool.get_array(f"meta.{f}")
+        fields[f] = region.view[:nv].copy()
+        nbytes += nv * 8
+    host.va.bulk_load(
+        fields["start"], fields["degree"], fields["array_degree"],
+        fields["live_degree"], fields["el"],
+    )
+    pool.device.account_seq_read(nbytes, bucket="recovery")
+    host.logs.rebuild_counts()
+    host.ea.recount_all()
+    pool.device.account_seq_read(host.ea.capacity * 4, bucket="recovery")
+
+
+def crash_recover(host) -> None:
+    """Full crash recovery: scan, replay, complete in-flight rebalances."""
+    pool = host.pool
+
+    # (1) interrupted PMDK transaction (No EL&UL ablation)
+    if host.tx_mgr is not None:
+        host.tx_mgr.recover()
+
+    # (2) edge-log cursors (needed by the undo logs' pending clears)
+    host.logs.rebuild_counts()
+
+    # (3) per-thread undo logs: restore / redo / finish clears
+    reissue: List[Tuple[int, int]] = []
+    for ul in host.ulogs:
+        win = host.rebalancer.recover_ulog(ul)
+        if win is not None:
+            reissue.append(win)
+
+    # (4) pivot scan -> vertex array; (5) log replay -> degrees/chains
+    starts, array_deg, live = _scan_edge_array(host)
+    nv = starts.size
+    degree = array_deg.copy()
+    el = np.full(nv, -1, dtype=np.int64)
+    _replay_logs(host, nv, degree, live, el)
+
+    host.va = make_vertex_array(max(nv, 1), host.config.dram_placement, pool)
+    if nv:
+        host.va.bulk_load(starts, degree, array_deg, live, el)
+
+    # (6) occupancy + interrupted rebalances
+    host.ea.recount_all()
+    for lo, hi in reissue:
+        _reissue_window(host, lo, hi)
+
+
+def _scan_edge_array(host) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized pivot scan of the whole edge array (fast: PM sequential reads)."""
+    slots = host.ea.slots
+    cap = host.ea.capacity
+    ppos = np.flatnonzero(slots < 0)
+    vids = (-slots[ppos].astype(np.int64)) - 1
+    nv = vids.size
+    if nv:
+        if not (np.diff(vids) > 0).all():
+            raise RecoveryError("pivot ids are not strictly increasing — image corrupt")
+        if vids[0] != 0 or vids[-1] != nv - 1:
+            raise RecoveryError("pivot id space is not dense — image corrupt")
+    starts = ppos + 1
+    ends = np.append(ppos[1:], cap)
+    nz = np.concatenate([[0], np.cumsum(slots != 0, dtype=np.int64)])
+    array_deg = nz[ends] - nz[starts]
+    tombmask = (slots > 0) & ((slots & TOMB_BIT) != 0)
+    tz = np.concatenate([[0], np.cumsum(tombmask, dtype=np.int64)])
+    tombs = tz[ends] - tz[starts]
+    live = array_deg - 2 * tombs
+    host.pool.device.account_seq_read(cap * 4, bucket="recovery")
+    return starts.astype(np.int64), array_deg, live
+
+
+def _replay_logs(host, nv: int, degree: np.ndarray, live: np.ndarray, el: np.ndarray) -> None:
+    """Fold valid edge-log entries back into the vertex metadata (§3.1.5 step 3)."""
+    logs = host.logs
+    view = logs.region.view.reshape(logs.n_sections, logs.entries_per_section, 3)
+    srcs = view[:, :, 0].ravel()
+    dsts = view[:, :, 1].ravel()
+    valid = dsts != 0
+    n_entries = int(valid.sum())
+    if n_entries == 0:
+        return
+    gidx = np.flatnonzero(valid)
+    s = srcs[valid].astype(np.int64)
+    d = dsts[valid]
+    if s.size and (s.max() >= nv or s.min() < 0):
+        raise RecoveryError("edge-log entry references unknown vertex")
+    np.add.at(degree, s, 1)
+    tomb = (d & TOMB_BIT) != 0
+    np.add.at(live, s[~tomb], 1)
+    np.subtract.at(live, s[tomb], 1)
+    # chain head = the entry appended last; entries of one vertex all live
+    # in one section per merge epoch, so the max global index is the head.
+    np.maximum.at(el, s, gidx)
+    host.pool.device.account_rnd_read(n_entries, ENTRY_BYTES, bucket="recovery")
+
+
+def _reissue_window(host, lo_slot: int, hi_slot: int) -> None:
+    """Re-run the rebalance whose undo log was restored (paper Fig. 4 recovery)."""
+    S = host.ea.segment_slots
+    lo_seg = lo_slot // S
+    hi_seg = (hi_slot + S - 1) // S
+    width = 1
+    level = 0
+    n = host.ea.n_sections
+    while True:
+        aligned_lo = lo_seg // width * width
+        if aligned_lo + width >= hi_seg and width <= n:
+            break
+        width *= 2
+        level += 1
+    width = min(width, n)
+    aligned_lo = lo_seg // width * width
+    host.rebalancer.rebalance_window(aligned_lo, min(aligned_lo + width, n), level)
+
+
+__all__ = ["open_from_pool", "crash_recover"]

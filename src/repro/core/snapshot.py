@@ -1,0 +1,234 @@
+"""Consistent-view snapshots — the per-task Degree Cache (paper §3.1.3).
+
+Because DGAP stores every vertex's edges in *insertion order*, a
+consistent snapshot of the whole graph is nothing more than a copy of
+the degree vector at time *t*: the readable edges of vertex ``v`` are
+exactly its first ``degree_v^t`` logical edges, no matter what inserts,
+merges, rebalances or resizes happen afterwards — merges only ever
+*append-preserve* a run's logical prefix, and reads locate data through
+the live vertex array.  ``consistent_view()`` therefore copies the
+degree (and live-degree) vectors into the task's DRAM space and nothing
+else.
+
+Reading vertex ``v`` at time *t* (``degree_t = degree_v^t``):
+
+* the first ``min(array_degree_now, degree_t)`` edges come from the
+  edge array run at the *current* ``start_v``;
+* any remainder comes from the edge-log back-pointer chain: the chain
+  holds logical positions ``[array_degree_now, degree_now)`` newest
+  first, so skip the ``degree_now - degree_t`` newest entries and take
+  the rest (paper: the FIFO buffer of size ``rest_v^t``).
+
+Tombstones (deleted edges) are filtered at read time: a tombstone
+cancels one earlier occurrence of the same destination.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import SnapshotError
+from .encoding import SLOT_DTYPE, TOMB_BIT
+
+
+def _multi_arange(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(s, s+c)`` for each (s, c) pair, vectorized."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    cum = np.cumsum(counts)
+    return np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts) + np.repeat(
+        starts, counts
+    )
+
+
+class DGAPSnapshot:
+    """One analysis task's consistent view of a DGAP graph."""
+
+    def __init__(self, host):
+        self.host = host
+        self.num_vertices = host.va.num_vertices
+        self._cow = None
+        if getattr(host, "_cow_cache", None) is not None:
+            # CoW Degree Cache (§6 future work): O(chunks) pin instead of
+            # an O(|V|) copy; vectors materialize lazily on bulk access.
+            self._cow = host._cow_cache.snapshot()
+            self._degree_t: Optional[np.ndarray] = None
+            self._live_t: Optional[np.ndarray] = None
+        else:
+            # The baseline Degree Cache: O(V) DRAM copies at task start.
+            self._degree_t = host.va.degrees().copy()
+            self._live_t = host.va.live_degrees().copy()
+        self._released = False
+        self._csr: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        host._snapshot_opened(self)
+
+    @property
+    def degree_t(self) -> np.ndarray:
+        if self._degree_t is None:
+            self._degree_t = self._cow.degrees()
+        return self._degree_t
+
+    @property
+    def live_t(self) -> np.ndarray:
+        if self._live_t is None:
+            self._live_t = self._cow.live_degrees()
+        return self._live_t
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.live_t[: self.num_vertices].sum())
+
+    # -- lifecycle ----------------------------------------------------------
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            if self._cow is not None:
+                self._cow.release()
+            self.host._snapshot_closed(self)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.release()
+        return False
+
+    def _check(self) -> None:
+        if self._released:
+            raise SnapshotError("snapshot used after release()")
+
+    # -- per-vertex reads --------------------------------------------------------
+    def out_degree(self, v: int) -> int:
+        """Live (tombstone-adjusted) out-degree of ``v`` at snapshot time."""
+        self._check()
+        if self._cow is not None and self._live_t is None:
+            return self._cow.live_degree(v)  # no materialization needed
+        return int(self.live_t[v])
+
+    def slot_values(self, v: int) -> np.ndarray:
+        """Encoded slot values of ``v``'s first ``degree_t`` edges, in order."""
+        self._check()
+        va = self.host.va
+        if self._cow is not None and self._degree_t is None:
+            deg_t = self._cow.degree(v)
+        else:
+            deg_t = int(self.degree_t[v])
+        if deg_t == 0:
+            return np.empty(0, dtype=SLOT_DTYPE)
+        a_now = int(va.array_degree[v])
+        n_arr = min(a_now, deg_t)
+        st = int(va.start[v])
+        arr = self.host.ea.slots[st : st + n_arr]
+        if deg_t <= n_arr:
+            return arr
+        deg_now = int(va.degree[v])
+        skip = deg_now - deg_t  # entries appended after snapshot time
+        take = deg_t - n_arr
+        chain = self.host.logs.walk_chain(int(va.el[v]), limit=skip + take)
+        picked = chain[skip : skip + take]  # newest-first slice we need
+        vals = np.fromiter((c[2] for c in reversed(picked)), dtype=SLOT_DTYPE, count=take)
+        return np.concatenate([arr, vals])
+
+    def out_neighbors(self, v: int) -> np.ndarray:
+        """Live destination ids of ``v`` at snapshot time (tombstones applied)."""
+        vals = self.slot_values(v)
+        if vals.size == 0:
+            return vals.astype(SLOT_DTYPE)
+        tomb = (vals & TOMB_BIT) != 0
+        dsts = (vals & ~TOMB_BIT) - 1
+        if not tomb.any():
+            return dsts
+        return _apply_tombstones(dsts, tomb)
+
+    # -- bulk materialization ---------------------------------------------------------
+    def to_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(indptr, dsts) of the live snapshot graph — cached per snapshot.
+
+        The common case (no pending chains, no tombstones) is fully
+        vectorized; vertices that need chain walks or tombstone
+        filtering are patched individually.
+        """
+        self._check()
+        if self._csr is not None:
+            return self._csr
+        va = self.host.va
+        nv = self.num_vertices
+        deg_t = self.degree_t[:nv]
+        a_now = va.array_degree[:nv]
+        starts = va.start[:nv]
+        n_arr = np.minimum(a_now, deg_t)
+        idx = _multi_arange(starts, n_arr)
+        vals = self.host.ea.slots[idx] if idx.size else np.empty(0, dtype=SLOT_DTYPE)
+
+        needs_chain = deg_t > n_arr
+        has_tomb = np.zeros(nv, dtype=bool)
+        if vals.size:
+            tomb_positions = (vals & TOMB_BIT) != 0
+            if tomb_positions.any():
+                owner = np.repeat(np.arange(nv), n_arr)
+                has_tomb[np.unique(owner[tomb_positions])] = True
+        special = np.nonzero(needs_chain | has_tomb)[0]
+
+        if special.size == 0:
+            indptr = np.zeros(nv + 1, dtype=np.int64)
+            np.cumsum(n_arr, out=indptr[1:])
+            dsts = (vals & ~TOMB_BIT) - 1
+            self._csr = (indptr, dsts.astype(np.int32, copy=False))
+            return self._csr
+
+        # General path: splice per-vertex corrected segments.
+        counts = n_arr.copy()
+        patches = {}
+        for v in special:
+            nb = self.out_neighbors(int(v))
+            patches[int(v)] = nb
+            counts[v] = nb.size
+        indptr = np.zeros(nv + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        dsts = np.empty(int(indptr[-1]), dtype=np.int32)
+        # vectorized fill for ordinary vertices
+        ordinary = ~(needs_chain | has_tomb)
+        src_idx = _multi_arange(starts[ordinary], n_arr[ordinary])
+        dst_idx = _multi_arange(indptr[:-1][ordinary], counts[ordinary])
+        if src_idx.size:
+            slot_vals = self.host.ea.slots[src_idx]
+            dsts[dst_idx] = (slot_vals & ~TOMB_BIT) - 1
+        for v, nb in patches.items():
+            dsts[indptr[v] : indptr[v] + nb.size] = nb
+        self._csr = (indptr, dsts)
+        return self._csr
+
+    def to_csc(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Transpose (in-edges) of the snapshot, built from the CSR by counting sort."""
+        indptr, dsts = self.to_csr()
+        nv = self.num_vertices
+        srcs = np.repeat(np.arange(nv, dtype=np.int32), np.diff(indptr))
+        order = np.argsort(dsts, kind="stable")
+        in_srcs = srcs[order]
+        counts = np.bincount(dsts, minlength=nv)
+        in_indptr = np.zeros(nv + 1, dtype=np.int64)
+        np.cumsum(counts, out=in_indptr[1:])
+        return in_indptr, in_srcs
+
+
+def _apply_tombstones(dsts: np.ndarray, tomb: np.ndarray) -> np.ndarray:
+    """Each tombstone cancels the most recent *earlier* live occurrence of
+    its destination; later re-insertions of the same destination survive."""
+    keep = np.ones(dsts.size, dtype=bool)
+    open_positions: dict[int, list[int]] = {}
+    for i in range(dsts.size):
+        d = int(dsts[i])
+        if tomb[i]:
+            keep[i] = False
+            stack = open_positions.get(d)
+            if stack:
+                keep[stack.pop()] = False
+        else:
+            open_positions.setdefault(d, []).append(i)
+    return dsts[keep].astype(np.int32, copy=False)
+
+
+__all__ = ["DGAPSnapshot"]

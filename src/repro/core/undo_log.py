@@ -1,0 +1,241 @@
+"""Per-thread undo logs for crash-consistent PMA rebalancing (paper §3 ④).
+
+Each writer thread owns one fixed-size (``ULOG_SZ``, default 2 KB)
+persistent log.  A rebalance moves data in chunks of at most
+``ULOG_SZ`` bytes; before overwriting a destination chunk it backs the
+chunk up here, so a crash at any point leaves either the old or the
+fully-backed-up contents recoverable — without PMDK transactions'
+journal allocations and ordering overhead (§2.4.2).
+
+Persistent header (ten 8-byte fields, each updated failure-atomically):
+
+====== ============ ====================================================
+field  name         meaning
+====== ============ ====================================================
+0      valid        0 = no valid backup; else the 1-based step number
+                    (the commit point of the backup protocol)
+1      dst_off      device byte offset the backup corresponds to
+2      length       backup length in bytes
+3      state        0 idle / 1 rebalance active / 2 moves done, log
+                    clears pending
+4      phase        1 = compact (left-to-right), 2 = spread
+                    (right-to-left)
+5,6    win_lo/hi    rebalance window, in edge-array slot units
+7      progress     chunk boundary: slots left of it (compact) or right
+                    of it (spread) already hold the new layout
+8,9    done_lo/hi   window recorded for the idempotent post-move
+                    edge-log clears
+====== ============ ====================================================
+
+Backup protocol per chunk (the order is what makes every crash point
+recoverable — see the rebalance crash-sweep tests):
+
+1. ``valid <- 0``            (persist)  — payload is about to be reused
+2. payload ``<-`` old bytes  (persist)
+3. ``dst_off, length <- ...``(persist)
+4. ``valid <- step``         (persist)  — commit point
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..pmem.pool import PMemPool
+
+STATE_IDLE = 0
+STATE_ACTIVE = 1
+STATE_DONE = 2
+#: Large-window copy-on-write: the final layout sits complete in a
+#: persistent scratch area; recovery re-copies it (idempotent redo).
+STATE_COPYBACK = 3
+
+PHASE_COMPACT = 1
+PHASE_SPREAD = 2
+
+_F_VALID = 0
+_F_DST = 1
+_F_LEN = 2
+_F_STATE = 3
+_F_PHASE = 4
+_F_WIN_LO = 5
+_F_WIN_HI = 6
+_F_PROGRESS = 7
+_F_DONE_LO = 8
+_F_DONE_HI = 9
+_N_FIELDS = 10
+
+
+@dataclass
+class UndoHeader:
+    """Decoded view of a persistent undo-log header."""
+
+    valid: int
+    dst_off: int
+    length: int
+    state: int
+    phase: int
+    win_lo: int
+    win_hi: int
+    progress: int
+    done_lo: int
+    done_hi: int
+
+
+class UndoLog:
+    """One thread's undo log: persistent header + ``capacity`` payload bytes."""
+
+    def __init__(self, pool: PMemPool, thread_id: int, capacity: int, create: bool = True):
+        self.pool = pool
+        self.thread_id = thread_id
+        self.capacity = capacity
+        hdr_name = f"ulog.hdr.t{thread_id}"
+        pay_name = f"ulog.pay.t{thread_id}"
+        if create:
+            self.hdr = pool.alloc_array(hdr_name, np.int64, _N_FIELDS, initial=0)
+            self.payload = pool.alloc_array(pay_name, np.uint8, capacity, initial=0)
+        else:
+            self.hdr = pool.get_array(hdr_name)
+            self.payload = pool.get_array(pay_name)
+
+    # -- header primitives -------------------------------------------------
+    def _set(self, field: int, value: int) -> None:
+        self.hdr.write(field, value, payload=0, persist=True)
+
+    def _set_many(self, *pairs: tuple) -> None:
+        # Several independent fields under one flush+fence (they are not
+        # a commit point together — the atomic commit is always the
+        # single trailing ``_set``; this is where DGAP's undo log saves
+        # ordering cost over PMDK transactions).
+        for f, v in pairs:
+            self.hdr.write(f, v, payload=0)
+        fields = [f for f, _ in pairs]
+        lo, hi = min(fields), max(fields)
+        self.hdr.clwb(lo, hi - lo + 1)
+        self.hdr.device.sfence()
+
+    def _set2(self, f1: int, v1: int, f2: int, v2: int) -> None:
+        self._set_many((f1, v1), (f2, v2))
+
+    def read_header(self) -> UndoHeader:
+        h = self.hdr.view
+        return UndoHeader(*(int(h[i]) for i in range(_N_FIELDS)))
+
+    # -- rebalance lifecycle --------------------------------------------------
+    def begin(self, win_lo: int, win_hi: int, phase: int) -> None:
+        """Record the rebalance intent, then activate (state is the commit)."""
+        self._set_many(
+            (_F_VALID, 0),
+            (_F_WIN_LO, win_lo),
+            (_F_WIN_HI, win_hi),
+            (_F_PHASE, phase),
+            (_F_PROGRESS, win_lo if phase == PHASE_COMPACT else win_hi),
+        )
+        self._set(_F_STATE, STATE_ACTIVE)
+
+    def snapshot_window(self, win_lo: int, win_hi: int, dev_off: int, nbytes: int) -> None:
+        """Fused intent+backup for single-chunk operations (the common case).
+
+        One fence covers the payload copy and every intent field, and a
+        second covers the state+valid commit — this ordering economy
+        over PMDK transactions is where the paper's per-thread undo log
+        wins.  Safe because the two commit stores share a cache line
+        and either partial outcome (ACTIVE+valid=0, or IDLE+valid=1)
+        describes an untouched window.
+        """
+        assert nbytes <= self.capacity, "window exceeds ULOG_SZ"
+        dev = self.payload.device
+        data = dev.buf[dev_off : dev_off + nbytes].copy()
+        dev.store(self.payload.offset, data, payload=0)
+        dev.clwb(self.payload.offset, nbytes)
+        for f, v in (
+            (_F_DST, dev_off),
+            (_F_LEN, nbytes),
+            (_F_WIN_LO, win_lo),
+            (_F_WIN_HI, win_hi),
+            (_F_PHASE, PHASE_COMPACT),
+            (_F_PROGRESS, win_lo),
+        ):
+            self.hdr.write(f, v, payload=0)
+        self.hdr.clwb(_F_VALID, _N_FIELDS)
+        dev.sfence()  # fence 1: payload + intent durable
+        self.hdr.write(_F_STATE, STATE_ACTIVE, payload=0)
+        self.hdr.write(_F_VALID, 1, payload=0)
+        self.hdr.clwb(_F_VALID, _F_STATE - _F_VALID + 1)
+        dev.sfence()  # fence 2: commit
+
+    def set_phase(self, phase: int, progress: int) -> None:
+        # Invalidate any chunk backup from the previous phase first: the
+        # old (phase, progress) pair no longer describes it.
+        self._set(_F_VALID, 0)
+        self._set2(_F_PHASE, phase, _F_PROGRESS, progress)
+
+    def advance(self, progress: int) -> None:
+        """Move the chunk boundary after a chunk's new contents persisted."""
+        self._set(_F_PROGRESS, progress)
+
+    def backup(self, dev_off: int, nbytes: int, step: int) -> None:
+        """Back up device bytes ``[dev_off, dev_off+nbytes)`` (see protocol above)."""
+        assert nbytes <= self.capacity, "chunk exceeds ULOG_SZ"
+        assert step >= 1
+        dev = self.payload.device
+        self._set(_F_VALID, 0)
+        data = dev.buf[dev_off : dev_off + nbytes].copy()
+        dev.store(self.payload.offset, data, payload=0)
+        dev.clwb(self.payload.offset, nbytes)
+        self.hdr.write(_F_DST, dev_off, payload=0)
+        self.hdr.write(_F_LEN, nbytes, payload=0)
+        self.hdr.clwb(_F_DST, 2)
+        dev.sfence()  # payload + location under one fence
+        self._set(_F_VALID, step)  # commit point
+
+    def begin_copyback(self, win_lo: int, win_hi: int, scratch_off: int, nbytes: int) -> None:
+        """Commit a copy-on-write redirect: the final window image is
+        complete and persistent at device offset ``scratch_off``.  The
+        state store is the commit point; from here on recovery *redoes*
+        the copy instead of undoing."""
+        self._set2(_F_WIN_LO, win_lo, _F_WIN_HI, win_hi)
+        self._set2(_F_DST, scratch_off, _F_LEN, nbytes)
+        self._set(_F_VALID, 0)
+        self._set(_F_STATE, STATE_COPYBACK)
+
+    def mark_done(self, done_lo: int, done_hi: int) -> None:
+        """All moves persisted; record the window for idempotent log clears.
+
+        Ordering matters: state=DONE must become durable *before* any
+        log is cleared, and recovery checks state before the backup
+        validity — so a fully-merged window is never restored+re-merged
+        (which would duplicate edges).  The stale ``valid`` flag is
+        harmless: ``begin`` resets it before the next activation.
+        """
+        self._set2(_F_DONE_LO, done_lo, _F_DONE_HI, done_hi)
+        self._set(_F_STATE, STATE_DONE)
+
+    def finish(self) -> None:
+        self._set(_F_STATE, STATE_IDLE)
+
+    # -- recovery ---------------------------------------------------------------
+    def restore_if_valid(self) -> bool:
+        """If a committed chunk backup exists, write it back (post-crash)."""
+        h = self.read_header()
+        if h.valid == 0 or h.length == 0:
+            return False
+        dev = self.payload.device
+        data = dev.buf[self.payload.offset : self.payload.offset + h.length].copy()
+        dev.store(h.dst_off, data, payload=0)
+        dev.persist(h.dst_off, h.length)
+        self._set(_F_VALID, 0)
+        return True
+
+
+__all__ = [
+    "UndoLog",
+    "UndoHeader",
+    "STATE_IDLE",
+    "STATE_ACTIVE",
+    "STATE_DONE",
+    "STATE_COPYBACK",
+    "PHASE_COMPACT",
+    "PHASE_SPREAD",
+]

@@ -1,0 +1,15 @@
+"""Synthetic dataset proxies for the paper's SNAP evaluation graphs."""
+
+from .registry import DATASETS, SMALL_DATASETS, DatasetSpec, env_scale, get_dataset
+from .rmat import rmat_edges, shuffle_edges, uniform_edges
+
+__all__ = [
+    "DATASETS",
+    "SMALL_DATASETS",
+    "DatasetSpec",
+    "get_dataset",
+    "env_scale",
+    "rmat_edges",
+    "uniform_edges",
+    "shuffle_edges",
+]

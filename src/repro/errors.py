@@ -1,0 +1,65 @@
+"""Exception hierarchy for the DGAP reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch
+one base type.  :class:`SimulatedCrash` is special: it is *not* a bug —
+it is raised by the crash injector (``repro.pmem.crash``) to emulate a
+power failure at a precise store/flush/fence boundary, and tests catch
+it to exercise the recovery paths.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class PMemError(ReproError):
+    """Base class for persistent-memory substrate errors."""
+
+
+class OutOfPMemError(PMemError):
+    """A pool or device has no room for the requested allocation."""
+
+
+class PoolLayoutError(PMemError):
+    """A named root object is missing or has an unexpected shape."""
+
+
+class TransactionError(PMemError):
+    """Misuse of the PMDK-style transaction API (e.g. write outside tx)."""
+
+
+class SimulatedCrash(ReproError):
+    """Raised by the crash injector to emulate a power failure.
+
+    When raised, the owning :class:`~repro.pmem.device.PMemDevice` has
+    already reverted every cache line that was not yet flushed to media
+    (ADR semantics), exactly as a real power loss would.  Catch it, then
+    reopen the structures via their recovery entry points.
+    """
+
+    def __init__(self, message: str = "simulated power failure", *, op: str = "?", op_index: int = -1):
+        super().__init__(f"{message} (at {op} #{op_index})")
+        self.op = op
+        self.op_index = op_index
+
+
+class GraphError(ReproError):
+    """Base class for graph-structure errors."""
+
+
+class VertexRangeError(GraphError):
+    """A vertex id is outside the representable range."""
+
+
+class ImmutableGraphError(GraphError):
+    """An update was attempted on a static (immutable) graph store."""
+
+
+class SnapshotError(GraphError):
+    """Invalid use of a consistent-view snapshot (e.g. after release)."""
+
+
+class RecoveryError(GraphError):
+    """The persistent image could not be recovered into a valid graph."""

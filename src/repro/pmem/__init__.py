@@ -1,0 +1,42 @@
+"""Simulated persistent-memory substrate.
+
+Everything the DGAP paper relies on from Optane DCPMM, reproduced as a
+testable simulator: byte-addressable device with ADR/eADR cache-line
+semantics, ``clwb``/``sfence`` primitives, XPLine write combining, a
+calibrated latency cost model, crash injection, PMDK-style pools and
+undo-log transactions.
+"""
+
+from .alloc import BumpAllocator, FreeListAllocator, Region
+from .constants import ATOMIC_WRITE, CACHE_LINE, GIB, KIB, MIB, XPLINE
+from .crash import CrashInjector, CrashPlan, iter_crash_points
+from .device import PMemDevice
+from .latency import DRAM, OPTANE_ADR, OPTANE_EADR, LatencyModel, get_profile
+from .pool import PMemPool
+from .stats import PMemStats
+from .tx import Transaction, TransactionManager
+
+__all__ = [
+    "ATOMIC_WRITE",
+    "CACHE_LINE",
+    "XPLINE",
+    "KIB",
+    "MIB",
+    "GIB",
+    "BumpAllocator",
+    "FreeListAllocator",
+    "Region",
+    "CrashInjector",
+    "CrashPlan",
+    "iter_crash_points",
+    "PMemDevice",
+    "PMemPool",
+    "PMemStats",
+    "LatencyModel",
+    "DRAM",
+    "OPTANE_ADR",
+    "OPTANE_EADR",
+    "get_profile",
+    "Transaction",
+    "TransactionManager",
+]

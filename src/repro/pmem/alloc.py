@@ -1,0 +1,207 @@
+"""Typed regions and a small allocator over a :class:`PMemDevice`.
+
+A :class:`Region` is the unit every higher layer works with: a typed
+NumPy view over a device range whose *writes* go through the device (so
+dirty-line tracking, crash injection and cost accounting all see them)
+while *reads* are plain NumPy views — free and fast, with bulk read
+costs accounted explicitly by the reader (see ``device.py`` docs).
+
+The :class:`FreeListAllocator` provides PMDK-style fixed-class block
+allocation for the baselines that allocate dynamically (e.g. the
+blocked-adjacency-list's edge blocks).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import OutOfPMemError, PMemError
+from .constants import CACHE_LINE
+from .device import PMemDevice
+
+
+class Region:
+    """A typed, bounds-checked window of a device.
+
+    Reads go straight to a NumPy view (``region.view``); writes go
+    through :meth:`write` / :meth:`write_slice` so the device can track
+    dirty lines and charge the latency model.
+    """
+
+    __slots__ = ("device", "offset", "dtype", "count", "name", "itemsize", "_view")
+
+    def __init__(self, device: PMemDevice, offset: int, dtype, count: int, name: str = ""):
+        self.device = device
+        self.offset = int(offset)
+        self.dtype = np.dtype(dtype)
+        self.count = int(count)
+        self.name = name
+        self.itemsize = self.dtype.itemsize
+        if offset % self.itemsize:
+            raise PMemError(f"region {name!r} offset {offset} not aligned to {self.dtype}")
+        end = self.offset + self.nbytes
+        if end > device.size:
+            raise PMemError(f"region {name!r} [{offset}, {end}) exceeds device size {device.size}")
+        view = device.buf[self.offset : end].view(self.dtype)
+        view.flags.writeable = False
+        self._view = view
+
+    # -- geometry ---------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        return self.count * self.itemsize
+
+    @property
+    def view(self) -> np.ndarray:
+        """Read-only typed view of current contents."""
+        return self._view
+
+    def byte_offset(self, idx: int) -> int:
+        return self.offset + idx * self.itemsize
+
+    def __len__(self) -> int:
+        return self.count
+
+    def _check_idx(self, start: int, n: int = 1) -> None:
+        if start < 0 or start + n > self.count:
+            raise PMemError(
+                f"region {self.name!r} index [{start}, {start + n}) out of range [0, {self.count})"
+            )
+
+    # -- reads --------------------------------------------------------------
+    def read(self, idx: int):
+        """Read one element (scalar). No cost accounted — see module docs."""
+        self._check_idx(idx)
+        return self._view[idx]
+
+    def read_slice(self, start: int, n: int) -> np.ndarray:
+        self._check_idx(start, n)
+        return self._view[start : start + n]
+
+    # -- writes ---------------------------------------------------------------
+    def write(self, idx: int, value, payload: Optional[int] = None, persist: bool = False) -> None:
+        """Store one element; optionally clwb+sfence it immediately."""
+        self._check_idx(idx)
+        data = np.asarray(value, dtype=self.dtype).tobytes()
+        off = self.byte_offset(idx)
+        self.device.store(off, data, payload=payload)
+        if persist:
+            self.device.persist(off, self.itemsize)
+
+    def write_slice(
+        self, start: int, arr, payload: Optional[int] = None, persist: bool = False
+    ) -> None:
+        """Store a contiguous run of elements."""
+        a = np.ascontiguousarray(arr, dtype=self.dtype)
+        self._check_idx(start, a.size)
+        off = self.byte_offset(start)
+        self.device.store(off, a.view(np.uint8), payload=payload)
+        if persist:
+            self.device.persist(off, a.size * self.itemsize)
+
+    def nt_write_slice(self, start: int, arr, payload: Optional[int] = None) -> None:
+        """Non-temporal streaming store of a contiguous run (bulk loads)."""
+        a = np.ascontiguousarray(arr, dtype=self.dtype)
+        self._check_idx(start, a.size)
+        self.device.ntstore(self.byte_offset(start), a.view(np.uint8), payload=payload)
+
+    def fill(self, value, persist: bool = True) -> None:
+        """Initialize the whole region with ``value`` via a streaming store."""
+        a = np.full(self.count, value, dtype=self.dtype)
+        self.device.ntstore(self.offset, a.view(np.uint8), payload=0)
+        if persist:
+            self.device.sfence()
+
+    # -- persistence -----------------------------------------------------------
+    def clwb(self, start: int, n: int = 1) -> None:
+        self._check_idx(start, n)
+        self.device.clwb(self.byte_offset(start), n * self.itemsize)
+
+    def persist(self, start: int, n: int = 1) -> None:
+        self._check_idx(start, n)
+        self.device.persist(self.byte_offset(start), n * self.itemsize)
+
+    def subregion(self, start: int, n: int, name: str = "") -> "Region":
+        """A region aliasing elements ``[start, start+n)`` of this one."""
+        self._check_idx(start, n)
+        return Region(
+            self.device, self.byte_offset(start), self.dtype, n, name or f"{self.name}[{start}:{start+n}]"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Region({self.name!r}, off={self.offset}, dtype={self.dtype}, count={self.count})"
+
+
+class BumpAllocator:
+    """Monotonic allocator over ``[base, limit)`` of a device.
+
+    The bump pointer is persisted at a fixed 8-byte slot so allocation
+    survives crashes (as PMDK's heap metadata does).
+    """
+
+    def __init__(self, device: PMemDevice, base: int, limit: int, cursor_off: int):
+        self.device = device
+        self.base = base
+        self.limit = limit
+        self.cursor_off = cursor_off
+        cur = int(device.buf[cursor_off : cursor_off + 8].view(np.uint64)[0])
+        if cur < base or cur > limit:
+            cur = base
+            self._persist_cursor(cur)
+        self.cursor = cur
+
+    def _persist_cursor(self, value: int) -> None:
+        self.device.store(self.cursor_off, np.uint64(value).tobytes(), payload=0)
+        self.device.persist(self.cursor_off, 8)
+        self.cursor = value
+
+    def alloc(self, nbytes: int, align: int = CACHE_LINE) -> int:
+        """Reserve ``nbytes`` and return its device offset."""
+        off = (self.cursor + align - 1) // align * align
+        if off + nbytes > self.limit:
+            raise OutOfPMemError(
+                f"allocation of {nbytes}B exceeds pool (cursor={self.cursor}, limit={self.limit})"
+            )
+        self._persist_cursor(off + nbytes)
+        return off
+
+    @property
+    def remaining(self) -> int:
+        return self.limit - self.cursor
+
+
+class FreeListAllocator:
+    """Fixed-size block allocator with a free list, PMDK-object style.
+
+    The free list itself is volatile (rebuilt by the owner's recovery
+    scan, the way the baselines rebuild their block chains); durability
+    of *allocation* comes from the bump cursor and from the owner's
+    journaling of the linking stores.
+    """
+
+    def __init__(self, bump: BumpAllocator, block_bytes: int):
+        if block_bytes % CACHE_LINE:
+            block_bytes = (block_bytes + CACHE_LINE - 1) // CACHE_LINE * CACHE_LINE
+        self.bump = bump
+        self.block_bytes = block_bytes
+        self._free: list[int] = []
+        self.allocated_blocks = 0
+
+    def alloc(self) -> int:
+        self.allocated_blocks += 1
+        if self._free:
+            return self._free.pop()
+        return self.bump.alloc(self.block_bytes)
+
+    def free(self, off: int) -> None:
+        self.allocated_blocks -= 1
+        self._free.append(off)
+
+    @property
+    def live_bytes(self) -> int:
+        return self.allocated_blocks * self.block_bytes
+
+
+__all__ = ["Region", "BumpAllocator", "FreeListAllocator"]

@@ -1,0 +1,31 @@
+"""Hardware geometry constants for the simulated persistent memory.
+
+The numbers mirror Intel Optane DCPMM as described in the DGAP paper
+(§2.1) and the characterization studies it cites (Izraelevitz et al.,
+Yang et al.):
+
+* CPU cache lines are 64 bytes; ``CLWB``/``CLFLUSHOPT`` operate at this
+  granularity.
+* The DIMM's internal write-combining buffer (the "XPBuffer") operates
+  on 256-byte *XPLines*; flushes of adjacent lines that land in the same
+  XPLine are combined into a single media write.
+* The failure-atomic store unit is 8 bytes — larger writes may be torn
+  by a crash, which is why DGAP needs logs and transactions.
+"""
+
+from __future__ import annotations
+
+CACHE_LINE: int = 64
+"""Bytes per CPU cache line (flush granularity)."""
+
+XPLINE: int = 256
+"""Bytes per Optane internal write-buffer line (media write granularity)."""
+
+ATOMIC_WRITE: int = 8
+"""Bytes written atomically with respect to power failure."""
+
+LINES_PER_XPLINE: int = XPLINE // CACHE_LINE
+
+KIB: int = 1024
+MIB: int = 1024 * 1024
+GIB: int = 1024 * 1024 * 1024

@@ -1,0 +1,86 @@
+"""Crash injection for persistence testing.
+
+A :class:`CrashInjector` is armed on a device and fires a
+:class:`~repro.errors.SimulatedCrash` at a chosen persistence event —
+the N-th store, flush or fence — *before* that event takes effect.  The
+device then reverts every cache line not yet flushed to media, exactly
+like a power failure on an ADR platform, and the exception propagates to
+the test, which reopens the structures through their recovery paths.
+
+Deterministic countdown triggers make it possible to sweep *every*
+crash point of an operation (see the rebalance crash-consistency tests),
+which is the strongest form of the paper's §3.1.4/§3.1.5 claims.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..errors import SimulatedCrash
+
+#: Event kinds the injector can observe.
+EVENTS = ("store", "flush", "fence", "ntstore")
+
+
+@dataclass
+class CrashPlan:
+    """Fire on the ``countdown``-th event of kind ``event`` (1-based).
+
+    ``event=None`` matches any persistence event.
+    """
+
+    countdown: int
+    event: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.countdown < 1:
+            raise ValueError("countdown is 1-based and must be >= 1")
+        if self.event is not None and self.event not in EVENTS:
+            raise ValueError(f"unknown event {self.event!r}; choose from {EVENTS}")
+
+
+class CrashInjector:
+    """Counts persistence events and raises at the planned point."""
+
+    def __init__(self, plan: Optional[CrashPlan] = None):
+        self.plan = plan
+        self.counts = dict.fromkeys(EVENTS, 0)
+        self.fired = False
+
+    # -- arming ----------------------------------------------------------
+    def arm(self, countdown: int, event: Optional[str] = None) -> None:
+        """(Re)arm: crash at the ``countdown``-th upcoming matching event."""
+        self.plan = CrashPlan(countdown, event)
+        self.fired = False
+
+    def disarm(self) -> None:
+        self.plan = None
+
+    @property
+    def total_events(self) -> int:
+        return sum(self.counts.values())
+
+    # -- hook called by the device --------------------------------------
+    def tick(self, event: str) -> None:
+        """Observe one event; raise :class:`SimulatedCrash` if it is the planned one."""
+        self.counts[event] += 1
+        if self.plan is None or self.fired:
+            return
+        if self.plan.event is not None and self.plan.event != event:
+            return
+        self.plan.countdown -= 1
+        if self.plan.countdown == 0:
+            self.fired = True
+            raise SimulatedCrash(op=event, op_index=self.counts[event])
+
+
+def iter_crash_points(start: int = 1, stop: Optional[int] = None, step: int = 1) -> Iterator[int]:
+    """Countdown values for sweeping crash points (open-ended if ``stop`` is None)."""
+    if stop is None:
+        return itertools.count(start, step)
+    return iter(range(start, stop, step))
+
+
+__all__ = ["CrashPlan", "CrashInjector", "iter_crash_points", "EVENTS"]

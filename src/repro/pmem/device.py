@@ -1,0 +1,390 @@
+"""Simulated byte-addressable persistent memory device.
+
+The device keeps two images of its contents:
+
+* ``buf`` — what the CPU sees (stores land here immediately, like data
+  sitting in the volatile cache hierarchy);
+* ``media`` — what survives a power failure.
+
+A *store* marks the covered 64-byte cache lines dirty.  ``clwb`` /
+``clflushopt`` copy dirty lines from ``buf`` to ``media``; ``sfence``
+orders them (and is where the fence cost is charged).  On
+:meth:`crash`, every still-dirty line reverts to its media content —
+precisely the ADR failure semantics the DGAP paper programs against
+(§2.1.3).  With an eADR profile (``persistent_caches=True``) dirty lines
+are inside the power-fail domain and survive instead.  With a volatile
+(plain DRAM) profile a crash clears everything.
+
+Every operation accrues modeled nanoseconds from the device's
+:class:`~repro.pmem.latency.LatencyModel` and updates the
+:class:`~repro.pmem.stats.PMemStats` counters, including:
+
+* sequential/random/in-place flush classification (Fig. 1c);
+* XPLine (256 B) write combining for media-byte accounting;
+* caller-declared payload bytes for write-amplification (Fig. 1a).
+
+Reads of persistent data by analysis kernels are *accounted* in bulk
+(:meth:`account_seq_read` / :meth:`account_rnd_read`) rather than traced
+per byte — tracing every load in Python would be prohibitively slow and
+adds no fidelity, because read cost depends only on the access pattern,
+which the graph views know exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..errors import PMemError, SimulatedCrash
+from .constants import CACHE_LINE, XPLINE
+from .crash import CrashInjector
+from .latency import LatencyModel, OPTANE_ADR
+from .stats import PMemStats
+
+Buffer = Union[bytes, bytearray, memoryview, np.ndarray]
+
+#: Flush spans at or above this many lines take the vectorized
+#: sequential-stream path instead of per-line classification.
+_BULK_FLUSH_LINES = 16
+
+
+class PMemDevice:
+    """One simulated DIMM region (or a DRAM region with a volatile profile)."""
+
+    def __init__(
+        self,
+        size: int,
+        profile: LatencyModel = OPTANE_ADR,
+        name: str = "pmem0",
+        injector: Optional[CrashInjector] = None,
+    ):
+        if size <= 0:
+            raise ValueError("device size must be positive")
+        # Round capacity up to a whole XPLine.
+        size = (size + XPLINE - 1) // XPLINE * XPLINE
+        self.size = size
+        self.name = name
+        self.profile = profile
+        self.injector = injector or CrashInjector()
+        self.stats = PMemStats()
+
+        self.buf = np.zeros(size, dtype=np.uint8)
+        self.media = np.zeros(size, dtype=np.uint8)
+        self._dirty: set[int] = set()
+
+        # Flush-stream classification state.
+        self._last_flush_line = -(10**9)
+        self._last_media_xpline = -(10**9)
+        self._flush_op = 0
+        self._recent_flushes: dict[int, int] = {}  # line -> flush op index
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _check_range(self, off: int, n: int) -> None:
+        if off < 0 or n < 0 or off + n > self.size:
+            raise PMemError(f"access [{off}, {off + n}) outside device of size {self.size}")
+
+    def _charge(self, ns: float) -> None:
+        self.stats.modeled_ns += ns
+
+    def _tick(self, event: str) -> None:
+        """Feed the crash injector; on a planned crash, lose volatile state first."""
+        try:
+            self.injector.tick(event)
+        except SimulatedCrash:
+            self.crash()
+            raise
+
+    def _note_recent_flush(self, line: int) -> None:
+        self._recent_flushes[line] = self._flush_op
+        if len(self._recent_flushes) > 4 * self.profile.inplace_window:
+            cutoff = self._flush_op - self.profile.inplace_window
+            self._recent_flushes = {
+                ln: op for ln, op in self._recent_flushes.items() if op >= cutoff
+            }
+
+    # ------------------------------------------------------------------
+    # stores
+    # ------------------------------------------------------------------
+    def store(self, off: int, data: Buffer, payload: Optional[int] = None) -> None:
+        """CPU store of ``data`` at ``off``; lands in cache (volatile until flushed).
+
+        ``payload`` declares how many of the bytes are useful payload for
+        write-amplification accounting; defaults to all of them.
+        """
+        arr = np.frombuffer(data, dtype=np.uint8) if not isinstance(data, np.ndarray) else data
+        if arr.dtype != np.uint8:
+            arr = arr.view(np.uint8)
+        arr = arr.reshape(-1)
+        n = arr.size
+        self._check_range(off, n)
+        self._tick("store")
+
+        self.buf[off : off + n] = arr
+        first, last = off // CACHE_LINE, (off + n - 1) // CACHE_LINE
+        if last == first:
+            self._dirty.add(first)
+        else:
+            self._dirty.update(range(first, last + 1))
+
+        st = self.stats
+        st.stores += 1
+        st.stored_bytes += n
+        st.payload_bytes += n if payload is None else payload
+        self._charge((last - first + 1) * self.profile.store_per_line_ns)
+
+    def store_zeros(self, off: int, n: int, payload: int = 0) -> None:
+        """Store ``n`` zero bytes (cheap bulk clear through the cache)."""
+        self._check_range(off, n)
+        self._tick("store")
+        self.buf[off : off + n] = 0
+        first, last = off // CACHE_LINE, (off + n - 1) // CACHE_LINE
+        self._dirty.update(range(first, last + 1))
+        st = self.stats
+        st.stores += 1
+        st.stored_bytes += n
+        st.payload_bytes += payload
+        self._charge((last - first + 1) * self.profile.store_per_line_ns)
+
+    def ntstore(self, off: int, data: Buffer, payload: Optional[int] = None) -> None:
+        """Non-temporal streaming store: write-combines straight to media.
+
+        Used for the large sequential writes (initial loads, log resets,
+        CSR construction) where real code uses ``MOVNT``; on ADR the WPQ
+        is power-fail protected, so the data is durable on acceptance
+        (the customary trailing ``sfence`` only orders it).
+        """
+        arr = np.frombuffer(data, dtype=np.uint8) if not isinstance(data, np.ndarray) else data
+        if arr.dtype != np.uint8:
+            arr = arr.view(np.uint8)
+        arr = arr.reshape(-1)
+        n = arr.size
+        self._check_range(off, n)
+        self._tick("ntstore")
+
+        self.buf[off : off + n] = arr
+        if not self.profile.volatile:
+            self.media[off : off + n] = arr
+        # ntstore bypasses the cache: covered lines are clean w.r.t. media.
+        first, last = off // CACHE_LINE, (off + n - 1) // CACHE_LINE
+        if self._dirty:
+            self._dirty.difference_update(range(first, last + 1))
+
+        st = self.stats
+        st.ntstores += 1
+        st.ntstored_bytes += n
+        st.stored_bytes += n
+        st.payload_bytes += n if payload is None else payload
+        st.media_bytes += (last // (XPLINE // CACHE_LINE) - first // (XPLINE // CACHE_LINE) + 1) * XPLINE
+        self._charge(self.profile.seq_write_ns(n))
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def read(self, off: int, n: int) -> np.ndarray:
+        """Read-only view of current contents (no cost accounted — see module docs)."""
+        self._check_range(off, n)
+        view = self.buf[off : off + n]
+        view.flags.writeable = False
+        return view
+
+    def account_seq_read(self, nbytes: int, bucket: Optional[str] = None) -> None:
+        """Charge a sequential streaming read of ``nbytes``."""
+        ns = self.profile.seq_read_ns(nbytes)
+        self.stats.seq_read_bytes += nbytes
+        self._charge(ns)
+        if bucket:
+            self.stats.add_bucket(bucket, ns)
+
+    def account_rnd_read(self, naccesses: int, bytes_each: int = CACHE_LINE, bucket: Optional[str] = None) -> None:
+        """Charge ``naccesses`` independent random reads of ``bytes_each`` bytes."""
+        ns = self.profile.rnd_read_ns(naccesses, bytes_each)
+        self.stats.rnd_reads += naccesses
+        self._charge(ns)
+        if bucket:
+            self.stats.add_bucket(bucket, ns)
+
+    def account_rnd_write(self, naccesses: int, bytes_each: int = CACHE_LINE, bucket: Optional[str] = None) -> None:
+        """Charge ``naccesses`` random-line writes (modeling hook: counts
+        cost and media traffic without changing contents — used by the
+        baseline systems for DRAM/PM structures whose *functional* state
+        is kept in Python)."""
+        prof = self.profile
+        lines = max(1, (bytes_each + CACHE_LINE - 1) // CACHE_LINE)
+        if prof.volatile:
+            ns = naccesses * lines * prof.read_rnd_per_line_ns  # DRAM write ~ read latency
+        else:
+            ns = naccesses * lines * (prof.store_per_line_ns + prof.flush_rnd_per_line_ns)
+            self.stats.media_bytes += naccesses * XPLINE
+        self.stats.stores += naccesses
+        self.stats.stored_bytes += naccesses * bytes_each
+        self._charge(ns)
+        if bucket:
+            self.stats.add_bucket(bucket, ns)
+
+    def account_ns(self, ns: float, bucket: Optional[str] = None) -> None:
+        """Charge modeled time directly (documented modeling terms only)."""
+        self._charge(ns)
+        if bucket:
+            self.stats.add_bucket(bucket, ns)
+
+    def account_seq_write(self, nbytes: int, bucket: Optional[str] = None) -> None:
+        """Charge a streaming write of ``nbytes`` (modeling hook, no contents)."""
+        ns = self.profile.seq_write_ns(nbytes)
+        self.stats.stored_bytes += nbytes
+        if not self.profile.volatile:
+            self.stats.media_bytes += (nbytes + XPLINE - 1) // XPLINE * XPLINE
+        self._charge(ns)
+        if bucket:
+            self.stats.add_bucket(bucket, ns)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def clwb(self, off: int, n: int = CACHE_LINE) -> None:
+        """Write back the cache lines covering ``[off, off+n)`` to media."""
+        self._check_range(off, max(n, 1))
+        self._tick("flush")
+        first = off // CACHE_LINE
+        last = (off + max(n, 1) - 1) // CACHE_LINE
+        nlines = last - first + 1
+        if nlines >= _BULK_FLUSH_LINES:
+            self._flush_bulk(first, last)
+        else:
+            for line in range(first, last + 1):
+                self._flush_line(line)
+
+    #: ``clflushopt`` behaves identically for our purposes (clwb keeps the
+    #: line in cache, clflushopt evicts it — costs are the same here).
+    clflushopt = clwb
+
+    def _flush_line(self, line: int) -> None:
+        prof = self.profile
+        st = self.stats
+        self._flush_op += 1
+        st.flushes += 1
+
+        dirty = line in self._dirty
+        if dirty:
+            a = line * CACHE_LINE
+            self.media[a : a + CACHE_LINE] = self.buf[a : a + CACHE_LINE]
+            self._dirty.discard(line)
+            st.flushed_lines += 1
+            st.flushed_bytes += CACHE_LINE
+
+        # Classification (charged even for clean-line flushes, which are
+        # nearly free on real hardware -> small fixed cost).
+        if not dirty:
+            self._charge(prof.store_per_line_ns)
+            return
+
+        recent_op = self._recent_flushes.get(line)
+        inplace = recent_op is not None and (self._flush_op - recent_op) <= prof.inplace_window
+        xpline = line * CACHE_LINE // XPLINE
+        sequential = line == self._last_flush_line + 1 or xpline == self._last_media_xpline
+
+        if inplace:
+            st.inplace_flushes += 1
+            st.rnd_flushes += 1
+            self._charge(prof.flush_rnd_per_line_ns + prof.flush_inplace_extra_ns)
+            st.media_bytes += XPLINE  # the XPBuffer entry was already evicted
+        elif sequential:
+            st.seq_flushes += 1
+            self._charge(prof.flush_seq_per_line_ns)
+            if xpline != self._last_media_xpline:
+                st.media_bytes += XPLINE
+        else:
+            st.rnd_flushes += 1
+            self._charge(prof.flush_rnd_per_line_ns)
+            st.media_bytes += XPLINE
+
+        self._last_flush_line = line
+        self._last_media_xpline = xpline
+        self._note_recent_flush(line)
+
+    def _flush_bulk(self, first: int, last: int) -> None:
+        """Vectorized flush of a large contiguous span as a sequential stream."""
+        prof = self.profile
+        st = self.stats
+        a, b = first * CACHE_LINE, (last + 1) * CACHE_LINE
+        span = range(first, last + 1)
+        dirty_in_span = self._dirty.intersection(span) if len(self._dirty) < len(span) * 4 else {
+            ln for ln in span if ln in self._dirty
+        }
+        ndirty = len(dirty_in_span)
+        self.media[a:b] = self.buf[a:b]
+        self._dirty.difference_update(dirty_in_span)
+
+        self._flush_op += len(span)
+        st.flushes += len(span)
+        st.flushed_lines += ndirty
+        st.flushed_bytes += ndirty * CACHE_LINE
+        st.seq_flushes += ndirty
+        xp_first, xp_last = a // XPLINE, (b - 1) // XPLINE
+        st.media_bytes += (xp_last - xp_first + 1) * XPLINE
+        self._charge(ndirty * prof.flush_seq_per_line_ns + (len(span) - ndirty) * prof.store_per_line_ns)
+        self._last_flush_line = last
+        self._last_media_xpline = xp_last
+
+    def sfence(self) -> None:
+        """Order preceding flushes/ntstores; charge the drain cost."""
+        self._tick("fence")
+        self.stats.fences += 1
+        self._charge(self.profile.fence_ns)
+
+    def persist(self, off: int, n: int = CACHE_LINE) -> None:
+        """Convenience ``clwb + sfence`` (PMDK's ``pmem_persist``)."""
+        self.clwb(off, n)
+        self.sfence()
+
+    # ------------------------------------------------------------------
+    # failure / durability
+    # ------------------------------------------------------------------
+    def is_persisted(self, off: int, n: int = 1) -> bool:
+        """True if no cache line covering the range is dirty (or caches are eADR)."""
+        if self.profile.persistent_caches:
+            return not self.profile.volatile
+        if self.profile.volatile:
+            return False
+        first, last = off // CACHE_LINE, (off + max(n, 1) - 1) // CACHE_LINE
+        return not any(line in self._dirty for line in range(first, last + 1))
+
+    @property
+    def dirty_lines(self) -> int:
+        return len(self._dirty)
+
+    def crash(self) -> None:
+        """Emulate a power failure: lose whatever a real platform would lose."""
+        if self.profile.volatile:
+            self.buf[:] = 0
+            self.media[:] = 0
+        elif self.profile.persistent_caches:
+            # eADR: caches flush themselves on power fail.
+            for line in self._dirty:
+                a = line * CACHE_LINE
+                self.media[a : a + CACHE_LINE] = self.buf[a : a + CACHE_LINE]
+        else:
+            for line in self._dirty:
+                a = line * CACHE_LINE
+                self.buf[a : a + CACHE_LINE] = self.media[a : a + CACHE_LINE]
+        self._dirty.clear()
+        self._recent_flushes.clear()
+        self._last_flush_line = -(10**9)
+        self._last_media_xpline = -(10**9)
+
+    def drain_all(self) -> None:
+        """Flush every dirty line (used by graceful shutdown paths)."""
+        for line in sorted(self._dirty):
+            self._flush_line(line)
+        self.sfence()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PMemDevice(name={self.name!r}, size={self.size}, profile={self.profile.name}, "
+            f"dirty_lines={len(self._dirty)})"
+        )
+
+
+__all__ = ["PMemDevice"]

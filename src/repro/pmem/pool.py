@@ -1,0 +1,131 @@
+"""PMDK-style memory pool: named roots + allocation over one device.
+
+Layout::
+
+    [0, 64)        magic + format version
+    [64, 576)      64 x u64 root slots (failure-atomic 8-byte values for
+                   flags and pointers, e.g. DGAP's NORMAL_SHUTDOWN flag)
+    [576, 584)     bump-allocator cursor
+    [4096, ...)    allocations
+
+Named array roots (``alloc_array``/``get_array``) keep their
+(offset, dtype, count) directory in the pool object.  A *crash* in this
+simulator reverts device bytes but not Python objects, so the directory
+survives exactly as PMDK's pool metadata would (PMDK journals its own
+metadata); "reopening after a crash" means calling ``get_array`` /
+``read_root`` on the same pool and rebuilding everything else from the
+bytes, which is what the recovery tests do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import PoolLayoutError
+from .alloc import BumpAllocator, Region
+from .constants import CACHE_LINE
+from .crash import CrashInjector
+from .device import PMemDevice
+from .latency import LatencyModel, OPTANE_ADR
+
+_MAGIC = 0x44474150  # "DGAP"
+_N_ROOT_SLOTS = 64
+_ROOTS_OFF = 64
+_CURSOR_OFF = _ROOTS_OFF + _N_ROOT_SLOTS * 8
+_DATA_OFF = 4096
+
+
+class PMemPool:
+    """One pool over one simulated device."""
+
+    def __init__(
+        self,
+        size: int,
+        profile: LatencyModel = OPTANE_ADR,
+        name: str = "pool",
+        injector: Optional[CrashInjector] = None,
+        device: Optional[PMemDevice] = None,
+    ):
+        self.device = device or PMemDevice(size, profile=profile, name=name, injector=injector)
+        self.name = name
+        self._directory: Dict[str, Tuple[int, np.dtype, int]] = {}
+
+        magic = int(self.device.buf[0:8].view(np.uint64)[0])
+        if magic != _MAGIC:
+            self.device.ntstore(0, np.uint64(_MAGIC).tobytes(), payload=0)
+            self.device.sfence()
+        self.allocator = BumpAllocator(self.device, _DATA_OFF, self.device.size, _CURSOR_OFF)
+
+    # -- stats passthrough -------------------------------------------------
+    @property
+    def stats(self):
+        return self.device.stats
+
+    @property
+    def profile(self):
+        return self.device.profile
+
+    # -- root slots (8-byte failure-atomic values) ---------------------------
+    def _root_off(self, slot: int) -> int:
+        if not 0 <= slot < _N_ROOT_SLOTS:
+            raise PoolLayoutError(f"root slot {slot} out of range [0, {_N_ROOT_SLOTS})")
+        return _ROOTS_OFF + slot * 8
+
+    def read_root(self, slot: int) -> int:
+        off = self._root_off(slot)
+        return int(self.device.media[off : off + 8].view(np.uint64)[0])
+
+    def write_root(self, slot: int, value: int) -> None:
+        """Failure-atomic 8-byte root update (store + clwb + sfence)."""
+        off = self._root_off(slot)
+        self.device.store(off, np.uint64(value).tobytes(), payload=0)
+        self.device.persist(off, 8)
+
+    # -- allocation ------------------------------------------------------------
+    def alloc(self, nbytes: int, align: int = CACHE_LINE) -> int:
+        return self.allocator.alloc(nbytes, align)
+
+    def alloc_array(self, name: str, dtype, count: int, initial=None) -> Region:
+        """Allocate and register a named typed array."""
+        if name in self._directory:
+            raise PoolLayoutError(f"root {name!r} already exists in pool {self.name!r}")
+        dt = np.dtype(dtype)
+        off = self.alloc(max(count * dt.itemsize, 1), align=max(CACHE_LINE, dt.itemsize))
+        self._directory[name] = (off, dt, count)
+        region = Region(self.device, off, dt, count, name=name)
+        if initial is not None:
+            region.fill(initial)
+        return region
+
+    def get_array(self, name: str) -> Region:
+        """Reopen a previously allocated named array."""
+        try:
+            off, dt, count = self._directory[name]
+        except KeyError:
+            raise PoolLayoutError(f"root {name!r} not found in pool {self.name!r}") from None
+        return Region(self.device, off, dt, count, name=name)
+
+    def has_array(self, name: str) -> bool:
+        return name in self._directory
+
+    def drop_array(self, name: str) -> None:
+        """Forget a named array (space is not reclaimed — bump allocator)."""
+        self._directory.pop(name, None)
+
+    def rename_array(self, old: str, new: str) -> None:
+        if new in self._directory:
+            raise PoolLayoutError(f"root {new!r} already exists")
+        self._directory[new] = self._directory.pop(old)
+
+    # -- failure ------------------------------------------------------------
+    def crash(self) -> None:
+        """Power-fail the underlying device (see ``PMemDevice.crash``)."""
+        self.device.crash()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PMemPool({self.name!r}, size={self.device.size}, roots={sorted(self._directory)})"
+
+
+__all__ = ["PMemPool"]

@@ -1,0 +1,118 @@
+"""Operation counters and derived metrics for a simulated device.
+
+The counters feed three things:
+
+* the **modeled clock** (``modeled_ns``) used by every benchmark;
+* the **write-amplification** metric of Fig. 1(a)/§4.4 — the ratio of
+  bytes actually written to the device over useful payload bytes;
+* assertions in tests (e.g. "the edge log reduced stored bytes by ~6x").
+
+``payload_bytes`` is declared by callers: when DGAP inserts one 4-byte
+edge it declares 4 payload bytes no matter how many bytes the store and
+any induced shifting actually wrote.  ``stored_bytes`` counts bytes
+passed to ``store``; ``media_bytes`` counts bytes written to the Optane
+media at XPLine (256 B) granularity when lines are flushed, with
+write-combining for consecutive flushes into the same XPLine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class PMemStats:
+    """Mutable counter block attached to a :class:`PMemDevice`."""
+
+    # -- stores ----------------------------------------------------------
+    stores: int = 0
+    stored_bytes: int = 0
+    payload_bytes: int = 0
+
+    # -- flushes ---------------------------------------------------------
+    flushes: int = 0
+    flushed_lines: int = 0
+    flushed_bytes: int = 0
+    seq_flushes: int = 0
+    rnd_flushes: int = 0
+    inplace_flushes: int = 0
+    media_bytes: int = 0
+
+    # -- fences / ntstores -------------------------------------------------
+    fences: int = 0
+    ntstores: int = 0
+    ntstored_bytes: int = 0
+
+    # -- reads (accounted, not traced) -------------------------------------
+    seq_read_bytes: int = 0
+    rnd_reads: int = 0
+
+    # -- modeled time ------------------------------------------------------
+    modeled_ns: float = 0.0
+
+    #: free-form buckets so higher layers can attribute time, e.g.
+    #: ``{"rebalance": ns, "edge_log": ns}``.
+    buckets: Dict[str, float] = field(default_factory=dict)
+
+    def add_bucket(self, name: str, ns: float) -> None:
+        self.buckets[name] = self.buckets.get(name, 0.0) + ns
+
+    # -- derived -----------------------------------------------------------
+    @property
+    def modeled_seconds(self) -> float:
+        return self.modeled_ns * 1e-9
+
+    def write_amplification(self) -> float:
+        """Bytes handed to ``store`` per useful payload byte.
+
+        This matches the paper's Fig. 1(a) definition ("the ratio of
+        actual memory writes vs. the edge size"): shifting k elements to
+        make room for one inserted edge writes (k+1) elements for 1
+        element of payload.
+        """
+        if self.payload_bytes == 0:
+            return 0.0
+        return self.stored_bytes / self.payload_bytes
+
+    def media_write_amplification(self) -> float:
+        """Media (XPLine-granular) bytes per payload byte — the device-level view."""
+        if self.payload_bytes == 0:
+            return 0.0
+        return self.media_bytes / self.payload_bytes
+
+    def snapshot(self) -> "PMemStats":
+        """A frozen copy, for before/after deltas."""
+        cp = PMemStats(**{k: v for k, v in self.__dict__.items() if k != "buckets"})
+        cp.buckets = dict(self.buckets)
+        return cp
+
+    def delta_since(self, before: "PMemStats") -> "PMemStats":
+        """Counters accumulated since ``before`` (a prior :meth:`snapshot`)."""
+        d = PMemStats()
+        for k, v in self.__dict__.items():
+            if k == "buckets":
+                continue
+            setattr(d, k, v - getattr(before, k))
+        d.buckets = {
+            k: self.buckets.get(k, 0.0) - before.buckets.get(k, 0.0)
+            for k in set(self.buckets) | set(before.buckets)
+        }
+        return d
+
+    def reset(self) -> None:
+        fresh = PMemStats()
+        for k, v in fresh.__dict__.items():
+            setattr(self, k, v)
+
+    def summary(self) -> str:
+        wa = self.write_amplification()
+        return (
+            f"stores={self.stores} stored={self.stored_bytes}B payload={self.payload_bytes}B "
+            f"WA={wa:.2f} flushes={self.flushes} (seq={self.seq_flushes} rnd={self.rnd_flushes} "
+            f"inplace={self.inplace_flushes}) media={self.media_bytes}B fences={self.fences} "
+            f"modeled={self.modeled_seconds * 1e3:.3f}ms"
+        )
+
+
+__all__ = ["PMemStats"]

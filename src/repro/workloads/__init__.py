@@ -1,0 +1,5 @@
+"""Workload drivers: virtual-thread replay for concurrent-ingest modeling."""
+
+from .vthreads import VirtualThreadScheduler, VThreadResult, simulate_threads
+
+__all__ = ["VirtualThreadScheduler", "VThreadResult", "simulate_threads"]

@@ -1,0 +1,150 @@
+"""Virtual writer threads: event-level replay of concurrent ingestion.
+
+Python's GIL makes real multi-threaded throughput meaningless, so
+Table 3's thread counts are evaluated analytically (Amdahl + media
+bandwidth, ``repro.baselines.interfaces``).  This module provides the
+*independent cross-check*: it replays an edge stream as if executed by
+``n_threads`` concurrent writers against the real DGAP instance,
+advancing one modeled clock per thread and serializing conflicts
+through the paper's lock protocol (§3.1.6):
+
+* an insert holds its source vertex's *section* lock for the modeled
+  duration of the operation;
+* a rebalance triggered by the insert additionally holds every section
+  of its (extended) window, blocking writers that target them.
+
+The makespan of the replay — max over thread clocks, floored by the
+media write bandwidth — is an alternative estimate of T_p that emerges
+from actual per-operation costs and actual conflict patterns rather
+than a declared serial fraction.  ``tests/test_vthreads.py`` verifies
+the two estimators agree on shape (scaling band, hot-section
+degradation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from ..baselines.interfaces import PM_WRITE_BW_BYTES_PER_S
+from ..core.dgap import DGAP
+
+
+@dataclass
+class VThreadResult:
+    """Outcome of one virtual-thread replay."""
+
+    n_threads: int
+    edges: int
+    makespan_s: float
+    thread_busy_s: List[float]
+    lock_wait_s: float
+    pm_media_bytes: int
+
+    @property
+    def meps(self) -> float:
+        """Throughput at this thread count, in million edges per second."""
+        return self.edges / self.makespan_s / 1e6 if self.makespan_s > 0 else float("inf")
+
+    @property
+    def utilization(self) -> float:
+        """Mean busy fraction across threads (1.0 = perfect scaling)."""
+        if self.makespan_s == 0:
+            return 1.0
+        return float(np.mean(self.thread_busy_s)) / self.makespan_s
+
+
+class VirtualThreadScheduler:
+    """Replay a stream over one DGAP instance with per-thread clocks."""
+
+    def __init__(self, graph: DGAP, n_threads: int):
+        if n_threads < 1:
+            raise ValueError("need at least one virtual thread")
+        self.graph = graph
+        self.n_threads = n_threads
+        self.clock = np.zeros(n_threads)  # ns, per virtual thread
+        self.busy = np.zeros(n_threads)
+        self.lock_wait_ns = 0.0
+        #: ns at which each section's lock becomes free
+        self.section_free: Dict[int, float] = {}
+        graph.track_rebalance_windows = True
+
+    # -- scheduling ------------------------------------------------------
+    def _acquire(self, tid: int, sections: Iterable[int]) -> float:
+        """Wait for every section lock, in ascending order (paper §3.1.6)."""
+        t = float(self.clock[tid])
+        for s in sorted(set(sections)):
+            free = self.section_free.get(s, 0.0)
+            if free > t:
+                self.lock_wait_ns += free - t
+                t = free
+        return t
+
+    def _release(self, sections: Iterable[int], until: float) -> None:
+        for s in set(sections):
+            if self.section_free.get(s, 0.0) < until:
+                self.section_free[s] = until
+
+    def run(self, edges) -> VThreadResult:
+        """Replay ``edges`` round-robin across the virtual threads."""
+        g = self.graph
+        dev = g.pool.device
+        media_before = dev.stats.media_bytes
+        for i, (src, dst) in enumerate(edges):
+            tid = i % self.n_threads
+            src = int(src)
+            dst = int(dst)
+            if src < g.num_vertices:
+                sec = g.ea.section_of(int(g.va.start[src]) - 1)
+            else:
+                sec = 0
+            start = self._acquire(tid, (sec,))
+
+            ns0 = dev.stats.modeled_ns
+            g.op_rebalance_windows.clear()
+            g.insert_edge(src, dst)
+            op_ns = dev.stats.modeled_ns - ns0
+
+            # a triggered rebalance holds its whole window (ordered
+            # multi-lock), so extend the wait to any busy window section
+            touched = {sec}
+            S = g.ea.segment_slots
+            for lo, hi in g.op_rebalance_windows:
+                touched.update(range(lo // S, min((hi + S - 1) // S, g.ea.n_sections)))
+            if len(touched) > 1:
+                start = max(start, self._acquire(tid, touched))
+
+            end = start + op_ns
+            self.clock[tid] = end
+            self.busy[tid] += op_ns
+            self._release(touched, end)
+
+        makespan = float(self.clock.max()) * 1e-9
+        media = dev.stats.media_bytes - media_before
+        makespan = max(makespan, media / PM_WRITE_BW_BYTES_PER_S)
+        return VThreadResult(
+            n_threads=self.n_threads,
+            edges=len(edges),
+            makespan_s=makespan,
+            thread_busy_s=(self.busy * 1e-9).tolist(),
+            lock_wait_s=self.lock_wait_ns * 1e-9,
+            pm_media_bytes=int(media),
+        )
+
+
+def simulate_threads(
+    make_graph,
+    edges,
+    thread_counts: Tuple[int, ...] = (1, 8, 16),
+) -> Dict[int, VThreadResult]:
+    """Replay the same stream at several thread counts (fresh graph each)."""
+    out = {}
+    for p in thread_counts:
+        g = make_graph()
+        out[p] = VirtualThreadScheduler(g, p).run(list(map(tuple, edges)))
+    return out
+
+
+__all__ = ["VirtualThreadScheduler", "VThreadResult", "simulate_threads"]

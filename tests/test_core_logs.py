@@ -1,0 +1,166 @@
+"""Unit tests for the per-section edge logs and per-thread undo logs."""
+
+import numpy as np
+import pytest
+
+from repro.core.edge_log import ENTRY_BYTES, EdgeLogs
+from repro.core.encoding import encode_edge
+from repro.core.undo_log import (
+    PHASE_COMPACT,
+    STATE_ACTIVE,
+    STATE_COPYBACK,
+    STATE_DONE,
+    STATE_IDLE,
+    UndoLog,
+)
+from repro.errors import PMemError
+from repro.pmem import PMemPool
+
+
+@pytest.fixture
+def pool():
+    return PMemPool(4 << 20)
+
+
+class TestEdgeLogs:
+    def test_append_and_read(self, pool):
+        logs = EdgeLogs(pool, n_sections=4, entries_per_section=16)
+        g0 = logs.append(1, src=5, dst_enc=int(encode_edge(9)), back_gidx=-1)
+        g1 = logs.append(1, src=5, dst_enc=int(encode_edge(11)), back_gidx=g0)
+        assert logs.counts[1] == 2
+        src, dst, back = logs.read_entry(g1)
+        assert src == 5 and dst == int(encode_edge(11)) and back == g0
+        assert logs.read_entry(g0)[2] == -1
+
+    def test_chain_walk_newest_first(self, pool):
+        logs = EdgeLogs(pool, 2, 16)
+        g = -1
+        for d in (1, 2, 3):
+            g = logs.append(0, 7, int(encode_edge(d)), g)
+        chain = logs.walk_chain(g)
+        assert [c[2] for c in chain] == [int(encode_edge(3)), int(encode_edge(2)), int(encode_edge(1))]
+
+    def test_walk_chain_limit(self, pool):
+        logs = EdgeLogs(pool, 2, 16)
+        g = -1
+        for d in range(5):
+            g = logs.append(0, 7, int(encode_edge(d)), g)
+        assert len(logs.walk_chain(g, limit=2)) == 2
+
+    def test_fill_fraction_and_overflow(self, pool):
+        logs = EdgeLogs(pool, 2, 4)
+        for d in range(4):
+            logs.append(0, 1, int(encode_edge(d)), -1)
+        assert logs.fill_fraction(0) == 1.0
+        with pytest.raises(PMemError):
+            logs.append(0, 1, int(encode_edge(99)), -1)
+
+    def test_clear_section(self, pool):
+        logs = EdgeLogs(pool, 2, 8)
+        logs.append(0, 1, int(encode_edge(5)), -1)
+        logs.clear_section(0)
+        assert logs.counts[0] == 0 and logs.live_counts[0] == 0
+        assert logs.section_entries(0).size == 0
+
+    def test_invalidate_keeps_siblings(self, pool):
+        logs = EdgeLogs(pool, 2, 8)
+        ga = logs.append(0, 1, int(encode_edge(5)), -1)
+        gb = logs.append(0, 2, int(encode_edge(6)), -1)
+        logs.invalidate_entries([ga])
+        assert logs.live_counts[0] == 1
+        # sibling entry still readable
+        assert logs.read_entry(gb)[0] == 2
+        with pytest.raises(PMemError):
+            logs.walk_chain(ga)
+
+    def test_rebuild_counts_after_crash(self, pool):
+        logs = EdgeLogs(pool, 4, 8)
+        for d in range(5):
+            logs.append(2, 1, int(encode_edge(d)), -1)
+        logs.append(3, 2, int(encode_edge(7)), -1)
+        pool.crash()  # appends are persisted, DRAM counters survive anyway
+        fresh = EdgeLogs(pool, 4, 8, create=False)
+        fresh.rebuild_counts()
+        np.testing.assert_array_equal(fresh.counts, [0, 0, 5, 1])
+        np.testing.assert_array_equal(fresh.live_counts, [0, 0, 5, 1])
+
+    def test_rebuild_counts_skips_invalidated_interior(self, pool):
+        logs = EdgeLogs(pool, 1, 8)
+        g0 = logs.append(0, 1, int(encode_edge(1)), -1)
+        logs.append(0, 2, int(encode_edge(2)), -1)
+        logs.invalidate_entries([g0])
+        fresh = EdgeLogs(pool, 1, 8, create=False)
+        fresh.rebuild_counts()
+        assert fresh.counts[0] == 2  # append frontier after the last entry
+        assert fresh.live_counts[0] == 1
+
+    def test_entry_is_12_bytes(self):
+        assert ENTRY_BYTES == 12
+
+
+class TestUndoLog:
+    def test_lifecycle(self, pool):
+        ul = UndoLog(pool, 0, 2048)
+        ul.begin(100, 200, PHASE_COMPACT)
+        h = ul.read_header()
+        assert h.state == STATE_ACTIVE and (h.win_lo, h.win_hi) == (100, 200)
+        ul.mark_done(100, 200)
+        assert ul.read_header().state == STATE_DONE
+        ul.finish()
+        assert ul.read_header().state == STATE_IDLE
+
+    def test_backup_restore(self, pool):
+        ul = UndoLog(pool, 0, 2048)
+        region = pool.alloc_array("data", np.uint8, 4096, initial=7)
+        ul.begin(0, 1024, PHASE_COMPACT)
+        ul.backup(region.offset, 512, step=1)
+        # clobber the protected range
+        pool.device.store(region.offset, np.zeros(512, np.uint8))
+        pool.device.persist(region.offset, 512)
+        assert ul.restore_if_valid()
+        assert (region.view[:512] == 7).all()
+        assert ul.read_header().valid == 0
+
+    def test_restore_without_backup_is_noop(self, pool):
+        ul = UndoLog(pool, 0, 2048)
+        ul.begin(0, 10, PHASE_COMPACT)
+        assert not ul.restore_if_valid()
+
+    def test_snapshot_window_fused(self, pool):
+        ul = UndoLog(pool, 0, 2048)
+        region = pool.alloc_array("data", np.uint8, 4096, initial=3)
+        fences_before = pool.stats.fences
+        ul.snapshot_window(0, 128, region.offset, 512)
+        assert pool.stats.fences - fences_before == 2  # the economy claim
+        h = ul.read_header()
+        assert h.state == STATE_ACTIVE and h.valid == 1 and h.length == 512
+        pool.device.store(region.offset, np.zeros(512, np.uint8))
+        pool.device.persist(region.offset, 512)
+        assert ul.restore_if_valid()
+        assert (region.view[:512] == 3).all()
+
+    def test_oversize_backup_asserts(self, pool):
+        ul = UndoLog(pool, 0, 256)
+        with pytest.raises(AssertionError):
+            ul.backup(0, 512, step=1)
+
+    def test_copyback_state(self, pool):
+        ul = UndoLog(pool, 0, 2048)
+        ul.begin_copyback(0, 4096, 12345, 16384)
+        h = ul.read_header()
+        assert h.state == STATE_COPYBACK
+        assert h.dst_off == 12345 and h.length == 16384
+
+    def test_header_survives_crash(self, pool):
+        ul = UndoLog(pool, 3, 2048)
+        ul.begin(64, 128, PHASE_COMPACT)
+        pool.crash()
+        ul2 = UndoLog(pool, 3, 2048, create=False)
+        h = ul2.read_header()
+        assert h.state == STATE_ACTIVE and (h.win_lo, h.win_hi) == (64, 128)
+
+    def test_per_thread_isolation(self, pool):
+        a = UndoLog(pool, 0, 1024)
+        b = UndoLog(pool, 1, 1024)
+        a.begin(0, 10, PHASE_COMPACT)
+        assert b.read_header().state == STATE_IDLE

@@ -1,0 +1,157 @@
+"""Unit tests for the PMA density tree, slot encoding and vertex array."""
+
+import numpy as np
+import pytest
+
+from repro.core import encoding as enc
+from repro.core.pma_tree import DensityBounds, PMATree
+from repro.core.vertex_array import NO_EL, VertexArray, make_vertex_array
+from repro.errors import VertexRangeError
+from repro.pmem import PMemPool
+
+BOUNDS = DensityBounds(tau_leaf=0.92, tau_root=0.70, rho_leaf=0.08, rho_root=0.30)
+
+
+class TestEncoding:
+    def test_pivot_roundtrip(self):
+        for v in (0, 1, 17, enc.MAX_VERTEX):
+            assert enc.decode_pivot(enc.encode_pivot(v)) == v
+            assert enc.encode_pivot(v) < 0
+
+    def test_edge_roundtrip(self):
+        for dst in (0, 5, 12345):
+            for tomb in (False, True):
+                slot = enc.encode_edge(dst, tomb)
+                assert slot > 0
+                d, t = enc.decode_edge(slot)
+                assert (d, t) == (dst, tomb)
+
+    def test_gap_is_zero(self):
+        assert enc.GAP == 0
+
+    def test_vectorized_classification(self):
+        slots = np.array(
+            [0, enc.encode_pivot(3), enc.encode_edge(7), enc.encode_edge(9, True)],
+            dtype=np.int32,
+        )
+        np.testing.assert_array_equal(enc.is_gap(slots), [True, False, False, False])
+        np.testing.assert_array_equal(enc.is_pivot(slots), [False, True, False, False])
+        np.testing.assert_array_equal(enc.is_edge(slots), [False, False, True, True])
+        np.testing.assert_array_equal(enc.is_tombstone(slots), [False, False, False, True])
+        assert enc.pivot_vertices(slots[1:2])[0] == 3
+        np.testing.assert_array_equal(enc.edge_dsts(slots[2:]), [7, 9])
+
+
+class TestPMATree:
+    def test_thresholds_interpolate(self):
+        t = PMATree(16, 64, BOUNDS)
+        assert t.tau(0) == pytest.approx(0.92)
+        assert t.tau(t.height) == pytest.approx(0.70)
+        assert t.rho(0) == pytest.approx(0.08)
+        assert t.rho(t.height) == pytest.approx(0.30)
+        taus = [t.tau(h) for h in range(t.height + 1)]
+        assert taus == sorted(taus, reverse=True)
+
+    def test_single_section_tree(self):
+        t = PMATree(1, 64, BOUNDS)
+        assert t.height == 0
+        assert t.tau(0) == pytest.approx(0.70)
+
+    def test_non_pow2_rejected(self):
+        with pytest.raises(ValueError):
+            PMATree(12, 64, BOUNDS)
+
+    def test_window_alignment(self):
+        t = PMATree(8, 64, BOUNDS)
+        assert t.window_at(5, 0) == (5, 6)
+        assert t.window_at(5, 1) == (4, 6)
+        assert t.window_at(5, 2) == (4, 8)
+        assert t.window_at(5, 3) == (0, 8)
+
+    def test_find_window_escalates(self):
+        t = PMATree(4, 64, BOUNDS)
+        occ = np.array([64, 0, 0, 0], dtype=np.int64)  # leaf 0 full
+        lo, hi, level = t.find_rebalance_window(occ, 0)
+        assert (lo, hi) == (0, 2) and level == 1
+
+    def test_find_window_needs_resize(self):
+        t = PMATree(4, 64, BOUNDS)
+        occ = np.full(4, 63, dtype=np.int64)  # everything ~full
+        assert t.find_rebalance_window(occ, 0) is None
+        assert t.needs_resize(occ)
+
+    def test_find_window_level0_ok(self):
+        t = PMATree(4, 64, BOUNDS)
+        occ = np.array([10, 0, 0, 0], dtype=np.int64)
+        lo, hi, level = t.find_rebalance_window(occ, 0)
+        assert level == 0
+
+    def test_density(self):
+        t = PMATree(4, 64, BOUNDS)
+        occ = np.array([32, 32, 0, 0], dtype=np.int64)
+        assert t.density(occ, 0, 2) == pytest.approx(0.5)
+        assert t.density(occ, 0, 4) == pytest.approx(0.25)
+
+    def test_section_slot_mapping(self):
+        t = PMATree(4, 64, BOUNDS)
+        assert t.section_of_slot(0) == 0
+        assert t.section_of_slot(63) == 0
+        assert t.section_of_slot(64) == 1
+        assert t.slot_range(1, 3) == (64, 192)
+
+
+class TestVertexArray:
+    def test_init_state(self):
+        va = VertexArray(10)
+        assert va.num_vertices == 10
+        assert (va.els() == NO_EL).all()
+        assert va.degrees().sum() == 0
+
+    def test_setters(self):
+        va = VertexArray(4)
+        va.set_degree(2, 5)
+        va.set_start(2, 100)
+        va.set_el(2, 7)
+        assert va.degree[2] == 5 and va.start[2] == 100 and va.el[2] == 7
+
+    def test_check(self):
+        va = VertexArray(4)
+        with pytest.raises(VertexRangeError):
+            va.check(4)
+        va.check(3)
+
+    def test_grow_preserves(self):
+        va = VertexArray(4)
+        va.set_degree(3, 9)
+        va.grow(100)
+        assert va.num_vertices == 100
+        assert va.degree[3] == 9
+        assert va.el[50] == NO_EL
+
+    def test_grow_noop_backwards(self):
+        va = VertexArray(10)
+        va.grow(5)
+        assert va.num_vertices == 10
+
+    def test_update_window(self):
+        va = VertexArray(8)
+        arrs = [np.arange(3) + k for k in range(5)]
+        va.update_window(2, 5, arrs[0], arrs[1], arrs[2], arrs[3], arrs[4])
+        np.testing.assert_array_equal(va.start[2:5], arrs[0])
+        np.testing.assert_array_equal(va.degree[2:5], arrs[1])
+
+    def test_pm_backend_mirrors(self):
+        pool = PMemPool(1 << 20)
+        va = make_vertex_array(8, dram_placement=False, pool=pool)
+        before = pool.stats.flushes
+        va.set_degree(3, 7)
+        assert pool.stats.flushes > before  # persistent in-place update
+        assert va._regions["degree"].view[3] == 7
+
+    def test_pm_backend_requires_pool(self):
+        with pytest.raises(ValueError):
+            make_vertex_array(8, dram_placement=False, pool=None)
+
+    def test_dram_backend_no_pm_traffic(self):
+        va = make_vertex_array(8, dram_placement=True)
+        assert va.is_dram

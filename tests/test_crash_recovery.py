@@ -1,0 +1,245 @@
+"""Crash-consistency and recovery tests (paper §3.1.4–3.1.5).
+
+The central guarantee, verified by exhaustive crash-point sweeps:
+after a power failure at *any* store/flush/fence boundary, recovery
+yields a graph that contains every acknowledged edge, in per-vertex
+insertion order, with at most the single in-flight operation's edge
+extra — across the normal path and every ablation mode.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro import DGAP, DGAPConfig, SimulatedCrash
+from repro.pmem import CrashInjector
+
+BASE = dict(init_vertices=48, init_edges=512, segment_slots=64, elog_size=256)
+
+
+def crash_sweep(cfg, edges, crash_points, max_extra=1):
+    """Run the workload, crash at each point, recover, and verify."""
+    tested = 0
+    for crash_at in crash_points:
+        inj = CrashInjector()
+        g = DGAP(cfg, injector=inj)
+        inj.arm(crash_at)
+        acked = []
+        try:
+            for u, w in edges:
+                g.insert_edge(u, w)
+                acked.append((u, w))
+        except SimulatedCrash:
+            pass
+        else:
+            return tested  # swept past the whole workload
+        inj.disarm()
+        tested += 1
+
+        g2 = DGAP.open(g.pool, cfg)
+        refd = {}
+        for u, w in acked:
+            refd.setdefault(u, []).append(w)
+        with g2.consistent_view() as snap:
+            for v in range(g2.num_vertices):
+                got = list(snap.out_neighbors(v))
+                want = refd.get(v, [])
+                assert got[: len(want)] == want, (
+                    f"crash@{crash_at}: vertex {v} lost/disordered edges: "
+                    f"{got[:8]} vs {want[:8]}"
+                )
+                assert len(got) <= len(want) + max_extra, (
+                    f"crash@{crash_at}: vertex {v} has phantom edges"
+                )
+    return tested
+
+
+def make_edges(n, nv=48, seed=1, hot=None):
+    random.seed(seed)
+    out = []
+    for i in range(n):
+        u = hot if (hot is not None and i % 3 == 0) else random.randrange(nv)
+        out.append((u, random.randrange(nv)))
+    return out
+
+
+class TestCrashSweeps:
+    def test_sweep_default_config(self):
+        edges = make_edges(900)
+        n = crash_sweep(DGAPConfig(**BASE), edges, range(1, 4000, 41))
+        assert n > 20
+
+    def test_sweep_hot_vertex_forces_merges(self):
+        edges = make_edges(900, hot=7, seed=2)
+        n = crash_sweep(DGAPConfig(**BASE), edges, range(3, 4000, 53))
+        assert n > 15
+
+    def test_sweep_no_edge_log(self):
+        edges = make_edges(700, seed=3)
+        cfg = DGAPConfig(**BASE, use_edge_log=False)
+        n = crash_sweep(cfg, edges, range(5, 5000, 71))
+        assert n > 10
+
+    def test_sweep_pmdk_tx_mode(self):
+        edges = make_edges(600, seed=4)
+        cfg = DGAPConfig(**BASE, use_edge_log=False, use_undo_log=False)
+        n = crash_sweep(cfg, edges, range(7, 6000, 97))
+        assert n > 10
+
+    def test_sweep_dense_rebalance_every_point(self):
+        """Exhaustive: every persistence event around forced rebalances."""
+        cfg = DGAPConfig(init_vertices=16, init_edges=256, segment_slots=64, elog_size=96)
+        edges = [(i % 16, (i * 5) % 16) for i in range(400)]
+        n = crash_sweep(cfg, edges, range(1, 1200, 7))
+        assert n > 50
+
+    def test_sweep_with_deletions(self):
+        random.seed(9)
+        edges = []
+        for i in range(500):
+            edges.append((random.randrange(16), random.randrange(16)))
+        cfg = DGAPConfig(init_vertices=16, init_edges=512, segment_slots=64)
+
+        for crash_at in range(10, 2500, 111):
+            inj = CrashInjector()
+            g = DGAP(cfg, injector=inj)
+            inj.arm(crash_at)
+            live = {v: [] for v in range(16)}
+            crashed = False
+            try:
+                for i, (u, w) in enumerate(edges):
+                    if i % 5 == 4 and live[u]:
+                        x = live[u][0]
+                        g.delete_edge(u, x)
+                        live[u].remove(x)
+                    else:
+                        g.insert_edge(u, w)
+                        live[u].append(w)
+            except SimulatedCrash:
+                crashed = True
+            if not crashed:
+                break
+            inj.disarm()
+            g2 = DGAP.open(g.pool, cfg)
+            with g2.consistent_view() as snap:
+                for v in range(16):
+                    got = sorted(snap.out_neighbors(v).tolist())
+                    want = sorted(live[v])
+                    # at most one in-flight op difference
+                    diff = len(set_diff(got, want)) + len(set_diff(want, got))
+                    assert diff <= 1, (crash_at, v, got, want)
+
+
+def set_diff(a, b):
+    bb = list(b)
+    out = []
+    for x in a:
+        if x in bb:
+            bb.remove(x)
+        else:
+            out.append(x)
+    return out
+
+
+class TestRecoveryPaths:
+    def test_normal_restart_roundtrip(self):
+        g = DGAP(DGAPConfig(**BASE))
+        edges = make_edges(1000, seed=5)
+        g.insert_edges(edges)
+        ref = {}
+        for u, w in edges:
+            ref.setdefault(u, []).append(w)
+        g.shutdown()
+        g2 = DGAP.open(g.pool, g.config)
+        with g2.consistent_view() as snap:
+            for v in range(48):
+                assert list(snap.out_neighbors(v)) == ref.get(v, [])
+
+    def test_normal_restart_cheaper_than_crash(self):
+        edges = make_edges(2000, seed=6)
+
+        g = DGAP(DGAPConfig(**BASE))
+        g.insert_edges(edges)
+        g.shutdown()
+        before = g.pool.stats.snapshot()
+        DGAP.open(g.pool, g.config)
+        normal_ns = g.pool.stats.delta_since(before).modeled_ns
+
+        h = DGAP(DGAPConfig(**BASE))
+        h.insert_edges(edges)
+        h.pool.crash()
+        before = h.pool.stats.snapshot()
+        DGAP.open(h.pool, h.config)
+        crash_ns = h.pool.stats.delta_since(before).modeled_ns
+        assert crash_ns > normal_ns
+
+    def test_reopen_after_reopen(self):
+        g = DGAP(DGAPConfig(**BASE))
+        g.insert_edges(make_edges(300, seed=7))
+        g.shutdown()
+        g2 = DGAP.open(g.pool, g.config)
+        g2.insert_edge(1, 2)
+        g2.shutdown()
+        g3 = DGAP.open(g2.pool, g.config)
+        assert g3.num_edges == 301
+
+    def test_crash_recovery_can_continue_inserting(self):
+        g = DGAP(DGAPConfig(**BASE))
+        g.insert_edges(make_edges(500, seed=8))
+        n0 = g.num_edges
+        g.pool.crash()
+        g2 = DGAP.open(g.pool, g.config)
+        g2.insert_edges(make_edges(500, seed=9))
+        assert g2.num_edges == n0 + 500
+        # and survives a second crash
+        g2.pool.crash()
+        g3 = DGAP.open(g2.pool, g.config)
+        assert g3.num_edges == n0 + 500
+
+    def test_crash_after_resize_keeps_generation(self):
+        cfg = DGAPConfig(init_vertices=16, init_edges=128, segment_slots=64)
+        g = DGAP(cfg)
+        g.insert_edges(make_edges(2000, nv=16, seed=10))
+        assert g.n_resizes >= 1
+        gen = g.ea.gen
+        g.pool.crash()
+        g2 = DGAP.open(g.pool, cfg)
+        assert g2.ea.gen == gen
+        assert g2.num_edges == 2000
+
+    def test_recovery_rebuilds_degree_and_chains(self):
+        g = DGAP(DGAPConfig(**BASE))
+        for d in range(300):  # hot vertex: chains guaranteed
+            g.insert_edge(3, d % 48)
+        assert g.va.el[3] >= 0 or g.n_rebalances > 0
+        g.pool.crash()
+        g2 = DGAP.open(g.pool, g.config)
+        assert g2.out_degree(3) == 300
+        assert list(g2.out_neighbors(3)) == [d % 48 for d in range(300)]
+
+    def test_empty_graph_recovery(self):
+        g = DGAP(DGAPConfig(**BASE))
+        g.pool.crash()
+        g2 = DGAP.open(g.pool, g.config)
+        assert g2.num_edges == 0
+        assert g2.num_vertices == 48
+
+    def test_open_blank_pool_rejected(self):
+        from repro.errors import RecoveryError
+        from repro.pmem import PMemPool
+
+        with pytest.raises(RecoveryError):
+            DGAP.open(PMemPool(1 << 20), DGAPConfig(**BASE))
+
+    def test_eadr_platform_crash(self):
+        """§2.1.3: DGAP works on eADR too — caches survive power loss."""
+        from repro.pmem.latency import OPTANE_EADR
+
+        cfg = DGAPConfig(**BASE, profile=OPTANE_EADR)
+        g = DGAP(cfg)
+        edges = make_edges(800, seed=11)
+        g.insert_edges(edges)
+        g.pool.crash()
+        g2 = DGAP.open(g.pool, cfg)
+        assert g2.num_edges == 800

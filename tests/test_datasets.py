@@ -1,0 +1,106 @@
+"""Dataset proxy generators: determinism, shape, skew."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    SMALL_DATASETS,
+    get_dataset,
+    rmat_edges,
+    shuffle_edges,
+    uniform_edges,
+)
+
+
+class TestRMAT:
+    def test_shape_and_range(self):
+        e = rmat_edges(256, 5000, seed=1)
+        assert e.shape == (5000, 2)
+        assert e.min() >= 0 and e.max() < 256
+
+    def test_deterministic(self):
+        a = rmat_edges(128, 1000, seed=7)
+        b = rmat_edges(128, 1000, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_output(self):
+        a = rmat_edges(128, 1000, seed=1)
+        b = rmat_edges(128, 1000, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_no_self_loops(self):
+        e = rmat_edges(64, 3000, seed=3)
+        assert (e[:, 0] != e[:, 1]).all()
+
+    def test_power_law_skew(self):
+        """R-MAT hubs: the top 1% of vertices hold a large edge share."""
+        e = rmat_edges(4096, 200_000, a=0.57, b=0.19, c=0.19, seed=5)
+        deg = np.bincount(e[:, 0], minlength=4096)
+        top = np.sort(deg)[-41:].sum()
+        assert top / 200_000 > 0.10
+        # uniform graphs are much flatter
+        u = uniform_edges(4096, 200_000, seed=5)
+        udeg = np.bincount(u[:, 0], minlength=4096)
+        assert np.sort(udeg)[-41:].sum() < 0.5 * top
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            rmat_edges(1, 10)
+        with pytest.raises(ValueError):
+            rmat_edges(64, 10, a=0.5, b=0.3, c=0.3)
+
+    def test_shuffle_is_permutation(self):
+        e = rmat_edges(64, 500, seed=1)
+        s = shuffle_edges(e, seed=2)
+        assert not np.array_equal(e, s)
+        assert np.array_equal(
+            np.sort(e.view([("s", e.dtype), ("d", e.dtype)]).ravel()),
+            np.sort(s.view([("s", e.dtype), ("d", e.dtype)]).ravel()),
+        )
+
+
+class TestRegistry:
+    def test_all_six_paper_datasets(self):
+        assert set(DATASETS) == {
+            "orkut", "livejournal", "citpatents", "twitter", "friendster", "protein"
+        }
+
+    def test_ratios_match_paper_table2(self):
+        assert get_dataset("orkut").ratio == 76
+        assert get_dataset("livejournal").ratio == 18
+        assert get_dataset("citpatents").ratio == 6
+        assert get_dataset("twitter").ratio == 39
+        assert get_dataset("friendster").ratio == 29
+        assert get_dataset("protein").ratio == 149
+
+    def test_sizes_scale(self):
+        spec = get_dataset("orkut")
+        nv1, ne1 = spec.sizes(1.0)
+        nv2, ne2 = spec.sizes(2.0)
+        assert nv2 == 2 * nv1 and ne2 == 2 * ne1
+        assert ne1 == nv1 * 76
+
+    def test_generate_deterministic(self):
+        spec = get_dataset("livejournal")
+        a = spec.generate(0.05)
+        b = spec.generate(0.05)
+        np.testing.assert_array_equal(a, b)
+
+    def test_warmup_split(self):
+        spec = get_dataset("orkut")
+        edges = spec.generate(0.05)
+        warm, timed = spec.split_warmup(edges)
+        assert warm.shape[0] == int(edges.shape[0] * 0.10)
+        assert warm.shape[0] + timed.shape[0] == edges.shape[0]
+
+    def test_xpgraph_log_fit_rule(self):
+        """Paper: the 8GB log holds 512M 16B edges — the small trio fits."""
+        for ds in SMALL_DATASETS:
+            assert get_dataset(ds).real_fits_xpgraph_log
+        for ds in ("twitter", "friendster", "protein"):
+            assert not get_dataset(ds).real_fits_xpgraph_log
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            get_dataset("facebook")

@@ -1,0 +1,60 @@
+"""Smoke tests: every example script and CLI subcommand runs to completion."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+ENV = {**os.environ, "REPRO_SCALE": "0.1", "PYTHONPATH": os.path.join(ROOT, "src")}
+
+
+def run(args, timeout=300):
+    return subprocess.run(
+        [sys.executable, *args], cwd=ROOT, env=ENV,
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+class TestExamples:
+    @pytest.mark.parametrize(
+        "script,needle",
+        [
+            ("examples/quickstart.py", "reopened from PM"),
+            ("examples/cellular_hotspots.py", "collector restarted"),
+            ("examples/crash_recovery_demo.py", "acknowledged edges intact"),
+            ("examples/framework_comparison.py", "five systems"),
+        ],
+    )
+    def test_example_runs(self, script, needle):
+        res = run([script])
+        assert res.returncode == 0, res.stderr[-2000:]
+        assert needle in res.stdout
+
+
+class TestCLI:
+    def test_insert(self):
+        res = run(["-m", "repro.bench", "insert", "--dataset", "citpatents", "--scale", "0.1"])
+        assert res.returncode == 0, res.stderr[-2000:]
+        assert "insert throughput" in res.stdout and "dgap" in res.stdout
+
+    def test_analysis(self):
+        res = run(["-m", "repro.bench", "analysis", "--dataset", "citpatents",
+                   "--kernel", "bfs", "--scale", "0.1"])
+        assert res.returncode == 0, res.stderr[-2000:]
+        assert "BFS" in res.stdout and "vs CSR" in res.stdout
+
+    def test_recovery(self):
+        res = run(["-m", "repro.bench", "recovery", "--dataset", "citpatents", "--scale", "0.1"])
+        assert res.returncode == 0, res.stderr[-2000:]
+        assert "crash recovery" in res.stdout
+
+    def test_ablation(self):
+        res = run(["-m", "repro.bench", "ablation", "--scale", "0.05"])
+        assert res.returncode == 0, res.stderr[-2000:]
+        assert "no_el_ul_dp" in res.stdout
+
+    def test_bad_dataset_rejected(self):
+        res = run(["-m", "repro.bench", "insert", "--dataset", "nope"])
+        assert res.returncode != 0

@@ -1,0 +1,196 @@
+"""Hypothesis property tests on the core data structures and invariants."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import DGAP, DGAPConfig
+from repro.core.encoding import decode_edge, decode_pivot, encode_edge, encode_pivot
+from repro.core.pma_tree import DensityBounds, PMATree
+from repro.core.snapshot import _apply_tombstones, _multi_arange
+from repro.pmem import CACHE_LINE, PMemDevice
+
+BOUNDS = DensityBounds(0.92, 0.70, 0.08, 0.30)
+
+common = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 23), st.integers(0, 23)), min_size=0, max_size=300
+)
+
+
+class TestEncodingProperties:
+    @given(st.integers(0, (1 << 30) - 2))
+    @common
+    def test_pivot_roundtrip(self, v):
+        assert decode_pivot(encode_pivot(v)) == v
+
+    @given(st.integers(0, (1 << 29) - 2), st.booleans())
+    @common
+    def test_edge_roundtrip(self, dst, tomb):
+        assert decode_edge(encode_edge(dst, tomb)) == (dst, tomb)
+
+    @given(st.integers(0, (1 << 29) - 2), st.integers(0, (1 << 29) - 2))
+    @common
+    def test_encodings_disjoint(self, a, b):
+        # pivots negative, edges positive, gap zero: never collide
+        assert encode_pivot(a) < 0 < encode_edge(b)
+
+
+class TestPMATreeProperties:
+    @given(st.integers(0, 63), st.integers(0, 6))
+    @common
+    def test_windows_nest(self, section, level):
+        t = PMATree(64, 64, BOUNDS)
+        lo1, hi1 = t.window_at(section, level)
+        lo2, hi2 = t.window_at(section, min(level + 1, t.height))
+        assert lo2 <= lo1 and hi1 <= hi2
+        assert lo1 <= section < hi1
+
+    @given(st.lists(st.integers(0, 64), min_size=16, max_size=16), st.integers(0, 15))
+    @common
+    def test_found_window_is_within_bound(self, occ, section):
+        t = PMATree(16, 64, BOUNDS)
+        occ = np.asarray(occ, dtype=np.int64)
+        res = t.find_rebalance_window(occ, section)
+        if res is not None:
+            lo, hi, level = res
+            assert occ[lo:hi].sum() / ((hi - lo) * 64) <= t.tau(level) + 1e-9
+        else:
+            assert t.needs_resize(occ)
+
+
+class TestDeviceProperties:
+    @given(st.data())
+    @common
+    def test_persisted_data_survives_crash(self, data):
+        dev = PMemDevice(16 * 1024)
+        n_ops = data.draw(st.integers(1, 20))
+        persisted = {}
+        for _ in range(n_ops):
+            off = data.draw(st.integers(0, 255)) * CACHE_LINE
+            val = data.draw(st.binary(min_size=1, max_size=16))
+            dev.store(off, val)
+            if data.draw(st.booleans()):
+                dev.persist(off, len(val))
+                persisted[off] = val
+        dev.crash()
+        for off, val in persisted.items():
+            # the whole covering line persisted; the bytes must match the
+            # last persisted value unless a later store to the same line
+            # was also persisted (dict keeps last-per-offset anyway)
+            assert bytes(dev.read(off, len(val))) == val
+
+
+class TestSnapshotHelpers:
+    @given(
+        st.lists(st.integers(0, 1000), min_size=0, max_size=50),
+        st.lists(st.integers(1, 30), min_size=0, max_size=50),
+    )
+    @common
+    def test_multi_arange_matches_naive(self, starts, counts):
+        n = min(len(starts), len(counts))
+        s = np.asarray(starts[:n], dtype=np.int64)
+        c = np.asarray(counts[:n], dtype=np.int64)
+        got = _multi_arange(s, c)
+        want = np.concatenate(
+            [np.arange(a, a + k) for a, k in zip(s, c)] or [np.empty(0, np.int64)]
+        )
+        np.testing.assert_array_equal(got, want)
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.booleans()), max_size=40))
+    @common
+    def test_tombstones_cancel_exactly_one_earlier(self, seq):
+        dsts = np.array([d for d, _ in seq], dtype=np.int64)
+        tomb = np.array([t for _, t in seq], dtype=bool)
+        out = _apply_tombstones(dsts, tomb)
+        # reference: simple stack simulation
+        stacks = {}
+        keep = []
+        for i, (d, t) in enumerate(seq):
+            if t:
+                if stacks.get(d):
+                    keep[stacks[d].pop()] = None
+            else:
+                keep.append(d)
+                stacks.setdefault(d, []).append(len(keep) - 1)
+        want = [d for d in keep if d is not None]
+        assert out.tolist() == want
+
+
+class TestDGAPProperties:
+    @given(edge_lists)
+    @common
+    def test_insertion_order_always_preserved(self, edges):
+        g = DGAP(DGAPConfig(init_vertices=24, init_edges=256, segment_slots=64))
+        ref = {}
+        for u, w in edges:
+            g.insert_edge(u, w)
+            ref.setdefault(u, []).append(w)
+        with g.consistent_view() as snap:
+            for v in range(24):
+                assert list(snap.out_neighbors(v)) == ref.get(v, [])
+
+    @given(edge_lists)
+    @common
+    def test_pma_invariants_after_any_workload(self, edges):
+        g = DGAP(DGAPConfig(init_vertices=24, init_edges=256, segment_slots=64))
+        g.insert_edges(edges)
+        slots = g.ea.slots
+        # pivots strictly increasing and dense
+        ppos = np.flatnonzero(slots < 0)
+        vids = -slots[ppos].astype(np.int64) - 1
+        np.testing.assert_array_equal(vids, np.arange(g.num_vertices))
+        # runs contiguous: between a pivot and its run end there are no gaps
+        va = g.va
+        for v in range(g.num_vertices):
+            st_, ad = int(va.start[v]), int(va.array_degree[v])
+            assert (slots[st_ : st_ + ad] > 0).all()
+            end = int(ppos[v + 1]) if v + 1 < g.num_vertices else g.ea.capacity
+            assert (slots[st_ + ad : end] == 0).all()
+        # occupancy bookkeeping agrees with the array
+        g.ea.recount_all()
+        seg = g.ea.seg_occ.copy()
+        assert seg.sum() == np.count_nonzero(slots)
+
+    @given(edge_lists)
+    @common
+    def test_degree_cache_totals(self, edges):
+        g = DGAP(DGAPConfig(init_vertices=24, init_edges=256, segment_slots=64))
+        g.insert_edges(edges)
+        with g.consistent_view() as snap:
+            indptr, dsts = snap.to_csr()
+            assert indptr[-1] == len(edges)
+            assert snap.num_edges == len(edges)
+
+    @given(edge_lists, st.integers(1, 200))
+    @common
+    def test_crash_anywhere_preserves_acked_prefix(self, edges, crash_at):
+        from repro import SimulatedCrash
+        from repro.pmem import CrashInjector
+
+        inj = CrashInjector()
+        cfg = DGAPConfig(init_vertices=24, init_edges=128, segment_slots=64, elog_size=96)
+        g = DGAP(cfg, injector=inj)
+        inj.arm(crash_at)
+        acked = []
+        try:
+            for u, w in edges:
+                g.insert_edge(u, w)
+                acked.append((u, w))
+        except SimulatedCrash:
+            inj.disarm()
+            g2 = DGAP.open(g.pool, cfg)
+            ref = {}
+            for u, w in acked:
+                ref.setdefault(u, []).append(w)
+            with g2.consistent_view() as snap:
+                for v in range(g2.num_vertices):
+                    got = list(snap.out_neighbors(v))
+                    want = ref.get(v, [])
+                    assert got[: len(want)] == want
+                    assert len(got) <= len(want) + 1
