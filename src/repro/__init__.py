@@ -9,7 +9,8 @@ Public API quickstart::
     g.insert_edges([(1, 2), (2, 3)])
     snap = g.consistent_view()
     from repro.algorithms import pagerank
-    ranks = pagerank(snap)
+    from repro.analysis.view import CSRArraysView
+    ranks = pagerank(CSRArraysView(*snap.to_csr()))
     snap.release()
     g.shutdown()
 
@@ -36,6 +37,7 @@ __version__ = "1.0.0"
 __all__ = [
     "DGAP",
     "DGAPConfig",
+    "EdgeBatch",
     "ReproError",
     "PMemError",
     "OutOfPMemError",
@@ -56,4 +58,8 @@ def __getattr__(name):
         from .core.dgap import DGAP
 
         return DGAP
+    if name == "EdgeBatch":
+        from .core.batch import EdgeBatch
+
+        return EdgeBatch
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

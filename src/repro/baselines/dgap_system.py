@@ -17,6 +17,7 @@ import numpy as np
 from ..analysis import costs
 from ..analysis.view import BaseGraphView, CSRArraysView, StorageGeometry
 from ..config import DGAPConfig
+from ..core.batch import EdgeBatch
 from ..core.dgap import DGAP
 from .interfaces import DynamicGraphSystem
 
@@ -47,6 +48,12 @@ class DGAPSystem(DynamicGraphSystem):
     def insert_edge(self, src: int, dst: int) -> None:
         self.graph.insert_edge(src, dst)
         self._sw_edges += 1
+
+    def insert_batch(self, batch: EdgeBatch) -> int:
+        """Hand the whole batch to DGAP's section-grouped pipeline."""
+        n = self.graph.insert_edges(batch)
+        self._sw_edges += n
+        return n
 
     # -- analysis -------------------------------------------------------------
     def analysis_view(self) -> BaseGraphView:

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..analysis import costs
 from ..analysis.view import BaseGraphView, CSRArraysView, StorageGeometry
+from ..core.batch import EdgeBatch, extend_adjacency
 from ..pmem.device import PMemDevice
 from ..pmem.latency import DRAM, OPTANE_ADR, LatencyModel
 from ..pmem.pool import PMemPool
@@ -72,6 +73,24 @@ class GraphOneFD(DynamicGraphSystem):
         if self._since_flush >= FLUSH_PERIOD:
             self._flush(self._since_flush)
             self._since_flush = 0
+
+    def insert_batch(self, batch: EdgeBatch) -> int:
+        """Natural batch path: bulk adjacency extend + boundary-exact
+        archive/flush chunks (accounting-identical to the per-edge loop,
+        which always archives exactly ``ARCHIVE_BATCH`` and flushes
+        exactly ``FLUSH_PERIOD`` edges at a time)."""
+        n = len(batch)
+        if n == 0:
+            return 0
+        extend_adjacency(self.adj, batch.src, batch.dst)
+        self._sw_edges += n
+        n_arch, self._since_archive = divmod(self._since_archive + n, ARCHIVE_BATCH)
+        for _ in range(n_arch):
+            self._archive(ARCHIVE_BATCH)
+        n_flush, self._since_flush = divmod(self._since_flush + n, FLUSH_PERIOD)
+        for _ in range(n_flush):
+            self._flush(FLUSH_PERIOD)
+        return n
 
     def _archive(self, n: int) -> None:
         # edge-list append + adjacency-list insert: head lookup + block

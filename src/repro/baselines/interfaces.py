@@ -21,11 +21,12 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Iterable, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..analysis.view import BaseGraphView
+from ..core.batch import DEFAULT_BATCH_SIZE, EdgeBatch, EdgeLike
 from ..pmem.device import PMemDevice
 from ..pmem.latency import DRAM, OPTANE_ADR
 from ..pmem.pool import PMemPool
@@ -74,12 +75,37 @@ class DynamicGraphSystem(ABC):
     @abstractmethod
     def insert_edge(self, src: int, dst: int) -> None: ...
 
-    def insert_edges(self, edges: Iterable[Tuple[int, int]]) -> int:
-        """Insert a stream of (src, dst) pairs; returns how many."""
+    def insert_batch(self, batch: EdgeBatch) -> int:
+        """Ingest one :class:`EdgeBatch`; returns accepted mutation count.
+
+        The default replays the batch through :meth:`insert_edge` —
+        accounting-identical to the historical per-edge stream.  Each
+        system overrides this with its architecture's natural batch path
+        (archiving chunks, snapshot deltas, log spans), every override
+        preserving scalar-equivalent device accounting.
+        """
+        for s, d in zip(batch.src.tolist(), batch.dst.tolist()):
+            self.insert_edge(s, d)
+        return len(batch)
+
+    def insert_edges(
+        self, edges: EdgeLike, batch_size: Optional[int] = DEFAULT_BATCH_SIZE
+    ) -> int:
+        """Insert a stream of edges; returns how many were accepted.
+
+        Accepts an :class:`EdgeBatch`, an ``(N, 2)`` ndarray, or any
+        iterable of ``(src, dst)`` pairs — no per-tuple unpacking on the
+        array paths.  ``batch_size`` splits the stream into consecutive
+        sub-batches (default 512; None or <= 0 = one unbounded batch).
+        """
+        batch = EdgeBatch.coerce(edges)
+        if len(batch) == 0:
+            return 0
+        if batch_size is None or batch_size <= 0 or len(batch) <= batch_size:
+            return self.insert_batch(batch)
         n = 0
-        for s, d in edges:
-            self.insert_edge(int(s), int(d))
-            n += 1
+        for chunk in batch.chunks(batch_size):
+            n += self.insert_batch(chunk)
         return n
 
     def finalize(self) -> None:

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..analysis import costs
 from ..analysis.view import BaseGraphView, CSRArraysView, StorageGeometry
+from ..core.batch import EdgeBatch
 from ..pmem.device import PMemDevice
 from ..pmem.latency import DRAM, OPTANE_ADR, LatencyModel
 from ..pmem.pool import PMemPool
@@ -72,6 +73,24 @@ class LLAMA(DynamicGraphSystem):
         self._sw_edges += 1
         if len(self._delta) >= self.batch_edges:
             self._create_snapshot()
+
+    def insert_batch(self, batch: EdgeBatch) -> int:
+        """Natural batch path: fill the delta map to each snapshot
+        boundary, snapshotting exactly ``batch_edges`` at a time — the
+        same delta contents and flatten cadence as the per-edge loop."""
+        n = len(batch)
+        if n == 0:
+            return 0
+        self._sw_edges += n
+        src_l, dst_l = batch.src.tolist(), batch.dst.tolist()
+        pos = 0
+        while pos < n:
+            take = min(self.batch_edges - len(self._delta), n - pos)
+            self._delta.extend(zip(src_l[pos : pos + take], dst_l[pos : pos + take]))
+            pos += take
+            if len(self._delta) >= self.batch_edges:
+                self._create_snapshot()
+        return n
 
     def finalize(self) -> None:
         """Snapshot any pending delta so analysis sees the full graph."""

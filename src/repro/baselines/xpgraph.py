@@ -29,6 +29,7 @@ import numpy as np
 
 from ..analysis import costs
 from ..analysis.view import BaseGraphView, CSRArraysView, StorageGeometry
+from ..core.batch import EdgeBatch, extend_adjacency
 from ..pmem.device import PMemDevice
 from ..pmem.latency import DRAM, OPTANE_ADR, LatencyModel
 from ..pmem.pool import PMemPool
@@ -88,6 +89,33 @@ class XPGraph(DynamicGraphSystem):
                 # not activated (the paper's small-graph anomaly)
                 self._account_log_append(len(self._pending))
                 self._pending.clear()
+
+    def insert_batch(self, batch: EdgeBatch) -> int:
+        """Natural batch path: bulk adjacency extend, then feed the
+        pending edge log in archive-threshold slices — same log-fill
+        boundaries and archive batches as the per-edge loop."""
+        n = len(batch)
+        if n == 0:
+            return 0
+        extend_adjacency(self.adj, batch.src, batch.dst)
+        self._sw_edges += n
+        src_l, dst_l = batch.src.tolist(), batch.dst.tolist()
+        pos = 0
+        while pos < n:
+            take = min(self.archive_threshold - len(self._pending), n - pos)
+            self._pending.extend(zip(src_l[pos : pos + take], dst_l[pos : pos + take]))
+            self._log_fill += take
+            pos += take
+            if len(self._pending) >= self.archive_threshold:
+                if (
+                    self.log_capacity_edges is not None
+                    and self._log_fill > self.log_capacity_edges
+                ):
+                    self._archive()
+                else:
+                    self._account_log_append(len(self._pending))
+                    self._pending.clear()
+        return n
 
     def _account_log_append(self, n: int) -> None:
         """Sequential XPLine-friendly edge-log appends (16 B per edge)."""

@@ -1,6 +1,7 @@
 """Benchmark harness: regenerates every table and figure of the paper."""
 
 from .harness import (
+    DEFAULT_BATCH_SIZE,
     build_system,
     clear_cache,
     get_built_system,
@@ -9,9 +10,10 @@ from .harness import (
     pick_source,
     run_kernel,
 )
-from .reporting import emit, format_table, paper_vs_measured
+from .reporting import emit, format_table, ingest_phase_table, paper_vs_measured
 
 __all__ = [
+    "DEFAULT_BATCH_SIZE",
     "build_system",
     "ingest",
     "run_kernel",
@@ -21,5 +23,6 @@ __all__ = [
     "pick_source",
     "emit",
     "format_table",
+    "ingest_phase_table",
     "paper_vs_measured",
 ]

@@ -17,22 +17,37 @@ import sys
 
 from .. import DGAP, DGAPConfig
 from ..datasets import DATASETS, SMALL_DATASETS, get_dataset
-from .harness import get_built_system, get_static_csr, pick_source, run_kernel
-from .reporting import format_table
+from .harness import (
+    DEFAULT_BATCH_SIZE,
+    get_built_system,
+    get_static_csr,
+    pick_source,
+    run_kernel,
+)
+from .reporting import format_table, ingest_phase_table
 
 SYSTEM_ORDER = ("dgap", "bal", "llama", "graphone", "xpgraph")
 
 
+def _batch_size(args) -> int | None:
+    """CLI batch size; 0 or negative means 'one batch for everything'."""
+    bs = getattr(args, "batch_size", DEFAULT_BATCH_SIZE)
+    return None if bs is not None and bs <= 0 else bs
+
+
 def cmd_insert(args) -> None:
-    rows = []
+    bs = _batch_size(args)
+    rows, results = [], []
     for name in SYSTEM_ORDER:
-        _, ins = get_built_system(name, args.dataset, scale=args.scale)
+        _, ins = get_built_system(name, args.dataset, scale=args.scale, batch_size=bs)
         rows.append((name, ins.meps(1), ins.meps(8), ins.meps(16), ins.write_amplification))
+        results.append(ins)
     print(format_table(
-        f"insert throughput — {args.dataset} (scale {args.scale})",
+        f"insert throughput — {args.dataset} (scale {args.scale}, batch {bs or 'all'})",
         ["system", "MEPS T1", "MEPS T8", "MEPS T16", "write amp"],
         rows,
     ))
+    print(ingest_phase_table(results))
 
 
 def cmd_analysis(args) -> None:
@@ -66,7 +81,7 @@ def cmd_ablation(args) -> None:
         for name, kw in variants:
             g = DGAP(DGAPConfig(init_vertices=nv, init_edges=edges.shape[0], **kw))
             before = g.pool.stats.snapshot()
-            g.insert_edges(map(tuple, edges))
+            g.insert_edges(edges, batch_size=_batch_size(args))
             d = g.pool.stats.delta_since(before)
             rows.append((ds, name, d.modeled_ns * 1e-9))
     print(format_table(
@@ -82,7 +97,7 @@ def cmd_recovery(args) -> None:
     edges = spec.generate(args.scale)
     nv, _ = spec.sizes(args.scale)
     g = DGAP(DGAPConfig(init_vertices=nv, init_edges=edges.shape[0]))
-    g.insert_edges(map(tuple, edges))
+    g.insert_edges(edges, batch_size=_batch_size(args))
     g.shutdown()
     before = g.pool.stats.snapshot()
     g2 = DGAP.open(g.pool, g.config)
@@ -103,9 +118,16 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.bench", description=__doc__)
     sub = parser.add_subparsers(dest="cmd", required=True)
 
+    def add_batch_size(p):
+        p.add_argument(
+            "--batch-size", type=int, default=DEFAULT_BATCH_SIZE,
+            help="ingest sub-batch size (1 = per-edge path, <=0 = one batch)",
+        )
+
     p = sub.add_parser("insert", help="Fig. 6 / Table 3 style insert throughput")
     p.add_argument("--dataset", choices=sorted(DATASETS), default="orkut")
     p.add_argument("--scale", type=float, default=1.0)
+    add_batch_size(p)
     p.set_defaults(fn=cmd_insert)
 
     p = sub.add_parser("analysis", help="Fig. 7/8 style kernel comparison")
@@ -116,11 +138,13 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("ablation", help="Table 5 component ablation")
     p.add_argument("--scale", type=float, default=0.5)
+    add_batch_size(p)
     p.set_defaults(fn=cmd_ablation)
 
     p = sub.add_parser("recovery", help="normal restart vs crash recovery")
     p.add_argument("--dataset", choices=sorted(DATASETS), default="orkut")
     p.add_argument("--scale", type=float, default=0.5)
+    add_batch_size(p)
     p.set_defaults(fn=cmd_recovery)
 
     args = parser.parse_args(argv)

@@ -52,6 +52,33 @@ def paper_vs_measured(
     return format_table(f"{title} — paper vs measured", headers, formatted)
 
 
+def ingest_phase_table(results: Iterable) -> str:
+    """Per-phase wall-clock vs modeled time for ingest results.
+
+    Rows come from ``InsertResult.counters`` (harness-populated): one
+    row per (system, phase) with the measured Python wall-clock next to
+    the modeled device time, so interpreter overhead is visible and
+    comparable across batch sizes.
+    """
+    rows = []
+    for r in results:
+        c = getattr(r, "counters", {}) or {}
+        batch = int(c.get("batch_size", 0)) or "-"
+        for phase in ("warmup", "timed"):
+            wall = c.get(f"{phase}_wall_s")
+            modeled = c.get(f"{phase}_modeled_s")
+            if wall is None:
+                continue
+            ratio = wall / modeled if modeled else 0.0
+            rows.append((r.system, batch, phase, wall, modeled, ratio))
+    return format_table(
+        "ingest wall-clock vs modeled (per phase)",
+        ["system", "batch", "phase", "wall (s)", "modeled (s)", "wall/modeled"],
+        rows,
+        floatfmt="{:.3f}",
+    )
+
+
 #: tables collected during a benchmark session; pytest's capture swallows
 #: per-test stdout of passing tests, so the benchmarks' conftest flushes
 #: this registry in ``pytest_terminal_summary`` — that is how every table
@@ -71,4 +98,10 @@ def flush_reports() -> List[str]:
     return out
 
 
-__all__ = ["format_table", "paper_vs_measured", "emit", "flush_reports"]
+__all__ = [
+    "format_table",
+    "paper_vs_measured",
+    "ingest_phase_table",
+    "emit",
+    "flush_reports",
+]

@@ -32,11 +32,13 @@ from ..errors import GraphError, OutOfPMemError, VertexRangeError
 from ..pmem.crash import CrashInjector
 from ..pmem.pool import PMemPool
 from ..pmem.tx import TransactionManager
+from .batch import DEFAULT_BATCH_SIZE, EdgeBatch, EdgeLike
 from .edge_array import EdgeArray
 from .edge_log import EdgeLogs
 from .encoding import MAX_VERTEX, SLOT_DTYPE, encode_edge, encode_pivot
 from .locks import SectionLockTable
 from .pma_tree import DensityBounds
+from .snapshot import _multi_arange
 from .rebalance import (
     ROOT_EPS,
     ROOT_GEN,
@@ -58,6 +60,12 @@ def _next_pow2(n: int) -> int:
 
 class DGAP:
     """Dynamic Graph Analysis framework on (simulated) Persistent memory."""
+
+    #: processed per-edge order of the last vectorized batch (positions
+    #: into the batch) — replaying it one edge at a time reproduces the
+    #: exact same persistent state and PM counters (equivalence tests).
+    last_batch_order: Optional[np.ndarray] = None
+    _merge_thr_cache: Optional[tuple] = None
 
     def __init__(
         self,
@@ -217,19 +225,23 @@ class DGAP:
     def insert_edge(self, src: int, dst: int, thread_id: int = 0, tombstone: bool = False) -> None:
         """Insert directed edge ``src -> dst`` (``g.insertE``).
 
-        Deletion re-inserts the edge with the tombstone flag set
+        A thin one-element batch: semantically ``insert_edges`` of a
+        single edge, kept on the scalar path so crash-injection sweeps
+        hit every individual store/flush/fence boundary.  Deletion
+        re-inserts the edge with the tombstone flag set
         (:meth:`delete_edge`).  The PM write is persisted *before* the
         DRAM vertex array is touched, so a crash in between is always
         recoverable from the persistent state.
         """
-        va = self.va
-        nv = va.num_vertices
+        nv = self.va.num_vertices
         if src >= nv or dst >= nv:
             self.insert_vertex(max(src, dst))
-        cfg = self.config
-        locked = cfg.thread_safe
-        st = int(va.start[src])
-        sec_pivot = self.ea.section_of(st - 1)
+        self._insert_one(int(src), int(dst), thread_id, tombstone)
+
+    def _insert_one(self, src: int, dst: int, thread_id: int, tombstone: bool) -> None:
+        """One-edge insert for an existing vertex (lock + inner path)."""
+        locked = self.config.thread_safe
+        sec_pivot = self.ea.section_of(int(self.va.start[src]) - 1)
         if locked:
             self.locks.acquire(sec_pivot)
         try:
@@ -357,14 +369,274 @@ class DGAP:
         dev.persist(ea.byte_off(pos), (gap - pos + 1) * 4)
 
     def insert_edges(
-        self, edges: Iterable[Tuple[int, int]], thread_id: int = 0
+        self,
+        edges: EdgeLike,
+        thread_id: int = 0,
+        batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
     ) -> int:
-        """Bulk insert; returns the number of edges inserted."""
-        n = 0
-        for s, d in edges:
-            self.insert_edge(int(s), int(d), thread_id=thread_id)
-            n += 1
-        return n
+        """Bulk insert — the primary mutation entry point (paper §3.1.2).
+
+        Accepts an :class:`EdgeBatch`, an ``(N, 2)`` array or any
+        ``(src, dst)`` iterable; returns the number of accepted edges
+        (tombstones included).  The batch is grouped by PMA section and
+        applied with span stores/flushes: per round, every source's
+        trailing gap run is filled with one scattered
+        :meth:`~repro.pmem.device.PMemDevice.persist_batch`, then each
+        touched section's remaining edges are appended to its edge log
+        as one contiguous span.  The resulting persistent state and PM
+        counters are identical to inserting the edges one at a time in
+        :attr:`last_batch_order`.  ``batch_size`` splits the stream into
+        consecutive sub-batches (default 512; None or <= 0 = one
+        unbounded batch).
+        """
+        batch = EdgeBatch.coerce(edges)
+        if batch_size is not None and batch_size > 0 and len(batch) > batch_size:
+            return sum(
+                self._insert_batch(c, thread_id) for c in batch.chunks(batch_size)
+            )
+        return self._insert_batch(batch, thread_id)
+
+    def _insert_batch(self, batch: EdgeBatch, thread_id: int = 0) -> int:
+        n = len(batch)
+        if n == 0:
+            self.last_batch_order = np.empty(0, dtype=np.int64)
+            return 0
+        if n == 1:
+            s, d = int(batch.src[0]), int(batch.dst[0])
+            if max(s, d) >= self.va.num_vertices:
+                self.insert_vertex(max(s, d))
+            self._insert_one(s, d, thread_id, bool(batch.tombstone[0]))
+            self.last_batch_order = np.zeros(1, dtype=np.int64)
+            return 1
+        mx = batch.max_vertex()
+        if mx >= self.va.num_vertices:
+            self.insert_vertex(mx)
+        cfg = self.config
+        if not cfg.use_edge_log or not cfg.dram_placement:
+            # Ablation modes interleave per-edge PM metadata writes
+            # (shift path / PM-resident placement); keep the scalar order.
+            src, dst, tomb = batch.src, batch.dst, batch.tombstone
+            for i in range(n):
+                self._insert_one(int(src[i]), int(dst[i]), thread_id, bool(tomb[i]))
+            self.last_batch_order = np.arange(n, dtype=np.int64)
+            return n
+        return self._insert_batch_vectorized(batch, thread_id)
+
+    def _merge_threshold(self) -> int:
+        """Smallest entry count whose fill fraction reaches the merge point."""
+        cap = self.logs.capacity
+        frac = self.config.elog_merge_fraction
+        key = (cap, frac)
+        if self._merge_thr_cache is not None and self._merge_thr_cache[0] == key:
+            return self._merge_thr_cache[1]
+        c = max(1, int(np.ceil(frac * cap)))
+        while c > 1 and (c - 1) / cap >= frac:
+            c -= 1
+        while c / cap < frac:
+            c += 1
+        self._merge_thr_cache = (key, c)
+        return c
+
+    def _insert_batch_vectorized(self, batch: EdgeBatch, thread_id: int) -> int:
+        srcs = batch.src
+        encs = batch.encoded()
+        live = batch.live_deltas()
+        order_parts: list = []
+        pending = np.arange(len(batch), dtype=np.int64)
+        while pending.size:
+            pending = self._batch_round(pending, srcs, encs, live, order_parts, thread_id)
+        self.last_batch_order = (
+            np.concatenate(order_parts) if order_parts else np.empty(0, dtype=np.int64)
+        )
+        return len(batch)
+
+    def _batch_round(
+        self,
+        pending: np.ndarray,
+        srcs: np.ndarray,
+        encs: np.ndarray,
+        live: np.ndarray,
+        order_parts: list,
+        thread_id: int,
+    ) -> np.ndarray:
+        """One grouped pass over ``pending``; returns the deferred rest.
+
+        Edges are processed section-by-section, source-by-source: first
+        every source's gap run is extended (fast path, one scattered
+        span persist), then each section's overflow goes to its edge log
+        (one contiguous span persist per section).  A section merge or a
+        resize relocates runs, so the rest of the round is deferred and
+        regrouped against the new geometry — exactly what the scalar
+        path's retry does.
+        """
+        va, ea, logs, cfg = self.va, self.ea, self.logs, self.config
+        S = ea.segment_slots
+        psrc = srcs[pending]
+        sec_keys = (va.start[psrc] - 1) // S
+        order = np.lexsort((psrc, sec_keys))
+        p = pending[order]
+        o_src = psrc[order]
+        m = int(p.size)
+
+        # distinct-source subgroups (contiguous; sections stay contiguous too)
+        change = np.empty(m, dtype=bool)
+        change[0] = True
+        np.not_equal(o_src[1:], o_src[:-1], out=change[1:])
+        gstart = np.flatnonzero(change)
+        gcount = np.diff(np.append(gstart, m))
+        gsrc = o_src[gstart]
+        gsec = sec_keys[order][gstart]
+
+        held: list = []
+        if cfg.thread_safe:
+            for s in np.unique(gsec).tolist():
+                self.locks.acquire(int(s))
+                held.append(int(s))
+        try:
+            # ---- fast phase: fill trailing gap runs ----------------------
+            cap = ea.capacity
+            gpos = va.start[gsrc] + va.array_degree[gsrc]
+            kclip = np.minimum(gcount, np.clip(cap - gpos, 0, None))
+            nfree = kclip.copy()
+            cand = _multi_arange(gpos, kclip)
+            if cand.size:
+                occ_mask = ea.slots[cand] != 0
+                if occ_mask.any():
+                    # first occupied candidate per subgroup caps its run
+                    seg_id = np.repeat(np.arange(gsrc.size), kclip)
+                    local = cand - np.repeat(gpos, kclip)
+                    hit = np.flatnonzero(occ_mask)
+                    first_block = np.full(gsrc.size, np.int64(1) << 60)
+                    np.minimum.at(first_block, seg_id[hit], local[hit])
+                    nfree = np.minimum(kclip, first_block)
+            n_fast = int(nfree.sum())
+            if n_fast:
+                fast_slots = _multi_arange(gpos, nfree)
+                fast_p = p[_multi_arange(gstart, nfree)]
+                # Emit the span in original stream-position order: the
+                # device sees the same scattered store/flush sequence a
+                # per-edge stream would, so modeled flush classification
+                # (sequential/random/in-place) matches the scalar path.
+                perm = np.argsort(fast_p, kind="stable")
+                ea.write_slots(fast_slots[perm], encs[fast_p[perm]])
+                ea.inc_occ_counts(
+                    np.bincount(fast_slots // S, minlength=ea.n_sections)
+                )
+                ends = np.cumsum(nfree)
+                lcum = np.concatenate(([0], np.cumsum(live[fast_p])))
+                va.bulk_apply_inserts(gsrc, nfree, nfree, lcum[ends] - lcum[ends - nfree])
+                self.n_array_inserts += n_fast
+                self.n_edges_inserted += n_fast
+                order_parts.append(fast_p[perm])
+                # As in the scalar path, gap inserts trigger no density
+                # check — rebalancing is driven by the edge logs.
+
+            # ---- log phase: one scattered span append over all sections --
+            rem = gcount - nfree
+            deferred_parts: list = []
+            if rem.any():
+                c_thr = self._merge_threshold()
+                tails = _multi_arange(gstart + nfree, rem)
+                # Emission again follows original stream positions, so
+                # appends from different sections interleave exactly as a
+                # per-edge stream would hit the device.
+                pos_order = np.argsort(p[tails], kind="stable")
+                ti = tails[pos_order]
+                sp = p[ti]
+                ssrc = o_src[ti]
+                ssec = np.repeat(gsec, rem)[pos_order]
+                k = int(sp.size)
+                usecs, inv = np.unique(ssec, return_inverse=True)
+                counts_s = logs.counts[usecs]
+                t_total = np.bincount(inv, minlength=usecs.size)
+                force = counts_s >= logs.capacity
+                take_s = np.minimum(t_total, np.maximum(1, c_thr - counts_s))
+                merges = force | (counts_s + take_s >= c_thr)
+                # per-section append rank of every unit, in position order
+                so = np.argsort(inv, kind="stable")
+                sec0 = np.concatenate(([0], np.cumsum(t_total)))[:-1]
+                rank = np.empty(k, dtype=np.int64)
+                rank[so] = np.arange(k, dtype=np.int64) - np.repeat(sec0, t_total)
+                taken_mask = rank < take_s[inv]
+                # A merge relocates runs, so everything after the first
+                # merge trigger is deferred and regrouped next round (the
+                # scalar path's retry).  A normal trigger is the append
+                # that crosses the merge threshold (scalar merges right
+                # after it); a full log (force) merges *before* its unit.
+                cut_i, cut_sec, cut_force = k, -1, False
+                if merges.any():
+                    far = np.int64(1) << 62
+                    trig_n = np.flatnonzero(
+                        (merges & ~force)[inv] & (rank == take_s[inv] - 1)
+                    )
+                    trig_f = np.flatnonzero(force[inv] & (rank == 0))
+                    best_n = int(trig_n[0]) if trig_n.size else far
+                    best_f = int(trig_f[0]) if trig_f.size else far
+                    if best_f < best_n:
+                        cut_i, cut_sec, cut_force = best_f, int(ssec[best_f]), True
+                    elif best_n < far:
+                        cut_i, cut_sec, cut_force = best_n, int(ssec[best_n]), False
+                if cut_i < k:
+                    idx = np.arange(k)
+                    kept = taken_mask & (idx < cut_i if cut_force else idx <= cut_i)
+                else:
+                    kept = taken_mask
+                if not kept.all():
+                    deferred_parts.append(sp[~kept])
+
+                ki = np.flatnonzero(kept)
+                n_log = int(ki.size)
+                if n_log:
+                    kp = sp[ki]
+                    ks = ssrc[ki]
+                    kg = (
+                        usecs[inv[ki]] * logs.entries_per_section
+                        + counts_s[inv[ki]]
+                        + rank[ki]
+                    )
+                    # back-pointer chains per source, in emission order
+                    cho = np.argsort(ks, kind="stable")
+                    cs = ks[cho]
+                    cg = kg[cho]
+                    ch = np.empty(n_log, dtype=bool)
+                    ch[0] = True
+                    np.not_equal(cs[1:], cs[:-1], out=ch[1:])
+                    backs_s = np.empty(n_log, dtype=np.int64)
+                    backs_s[1:] = cg[:-1]
+                    backs_s[ch] = va.el[cs[ch]]
+                    backs = np.empty(n_log, dtype=np.int64)
+                    backs[cho] = backs_s
+                    logs.append_scatter(kg, ks, encs[kp], backs)
+                    nexts = np.flatnonzero(ch[1:])
+                    last = np.append(nexts, n_log - 1)
+                    va.bulk_set_el(cs[last], cg[last])
+                    cnt_starts = np.flatnonzero(ch)
+                    cnt_ends = np.append(nexts + 1, n_log)
+                    lcum = np.concatenate(([0], np.cumsum(live[kp[cho]])))
+                    va.bulk_apply_inserts(
+                        cs[cnt_starts],
+                        cnt_ends - cnt_starts,
+                        0,
+                        lcum[cnt_ends] - lcum[cnt_starts],
+                    )
+                    self.n_log_inserts += n_log
+                    self.n_edges_inserted += n_log
+                    order_parts.append(kp)
+
+                if cut_sec >= 0:
+                    self.rebalancer.merge_section(cut_sec, thread_id)
+        finally:
+            for s in reversed(held):
+                self.locks.release(s)
+
+        if self._cow_cache is not None:
+            for v in gsrc.tolist():
+                self._sync_degree(int(v))
+        return (
+            np.concatenate(deferred_parts)
+            if deferred_parts
+            else np.empty(0, dtype=np.int64)
+        )
 
     def delete_edge(self, src: int, dst: int, thread_id: int = 0) -> None:
         """Delete one occurrence of ``src -> dst`` (tombstone insertion, §3.1.2)."""

@@ -88,12 +88,28 @@ class EdgeArray:
     def write_run(self, start: int, values: np.ndarray, payload: int = 0) -> None:
         self.region.write_slice(start, values, payload=payload, persist=True)
 
+    def write_slots(self, slots: np.ndarray, values: np.ndarray, payload: int = 4) -> None:
+        """Batched scattered slot writes, one persisted store per slot.
+
+        Counter-equivalent to ``for s, v in zip(slots, values):
+        write_slot(s, v, payload, persist=True)`` in that order.
+        """
+        self.region.write_batch(slots, values, payload_per_unit=payload)
+
     # -- occupancy bookkeeping ------------------------------------------------------
     def inc_occ(self, section: int, delta: int = 1) -> None:
         self.seg_occ[section] += delta
         if self._occ_region is not None:
             # "No DP": the PMA tree lives on PM — persistent in-place update.
             self._occ_region.write(section, int(self.seg_occ[section]), payload=0, persist=True)
+
+    def inc_occ_counts(self, counts: np.ndarray) -> None:
+        """Bulk occupancy bump: ``counts`` holds one delta per section."""
+        touched = np.flatnonzero(counts)
+        self.seg_occ[touched] += counts[touched]
+        if self._occ_region is not None:
+            for s in touched.tolist():
+                self._occ_region.write(s, int(self.seg_occ[s]), payload=0, persist=True)
 
     def recount(self, lo_slot: int, hi_slot: int) -> None:
         """Vectorized occupancy recount for the sections covering ``[lo, hi)``."""

@@ -100,6 +100,103 @@ class EdgeLogs:
             self.peak_counts[section] = slot + 1
         return self.gidx(section, slot)
 
+    def append_batch(
+        self, section: int, srcs: np.ndarray, dst_encs: np.ndarray, back_gidxs: np.ndarray
+    ) -> np.ndarray:
+        """Persistently append ``k`` entries; returns their global indices.
+
+        Counter-equivalent to ``k`` scalar :meth:`append` calls in order
+        (one 12-byte persisted store per entry), vectorized.
+        """
+        k = int(len(srcs))
+        if k == 0:
+            return np.empty(0, dtype=np.int64)
+        slot = int(self.counts[section])
+        if slot + k > self.entries_per_section:
+            raise PMemError(f"edge log of section {section} cannot take {k} entries")
+        entries = np.empty((k, _FIELDS), dtype=np.int32)
+        entries[:, 0] = srcs
+        entries[:, 1] = dst_encs
+        entries[:, 2] = np.asarray(back_gidxs, dtype=np.int64) + 1
+        pos0 = self._base(section) + slot * _FIELDS
+        idxs = pos0 + np.arange(k, dtype=np.int64) * _FIELDS
+        self.region.write_batch(idxs, entries, payload_per_unit=4)
+        self.counts[section] = slot + k
+        self.live_counts[section] += k
+        if slot + k > self.peak_counts[section]:
+            self.peak_counts[section] = slot + k
+        return self.gidx(section, slot) + np.arange(k, dtype=np.int64)
+
+    def append_spans(
+        self,
+        sections: np.ndarray,
+        takes: np.ndarray,
+        srcs: np.ndarray,
+        dst_encs: np.ndarray,
+        back_gidxs: np.ndarray,
+    ) -> np.ndarray:
+        """Append runs to several sections with one batched device op.
+
+        ``sections``/``takes`` name distinct sections and how many of the
+        concatenated entries (``srcs``/``dst_encs``/``back_gidxs``, in
+        section order) each receives.  Counter-equivalent to the same
+        scalar :meth:`append` sequence; returns all global indices.
+        """
+        sections = np.asarray(sections, dtype=np.int64)
+        takes = np.asarray(takes, dtype=np.int64)
+        k = int(takes.sum())
+        if k == 0:
+            return np.empty(0, dtype=np.int64)
+        base = self.counts[sections]
+        if (base + takes > self.entries_per_section).any():
+            raise PMemError("edge-log span append overflows a section")
+        # concatenated per-section slot runs -> global entry indices
+        ends = np.cumsum(takes)
+        local = np.arange(k, dtype=np.int64) - np.repeat(ends - takes, takes)
+        gidxs = np.repeat(sections * self.entries_per_section + base, takes) + local
+        entries = np.empty((k, _FIELDS), dtype=np.int32)
+        entries[:, 0] = srcs
+        entries[:, 1] = dst_encs
+        entries[:, 2] = np.asarray(back_gidxs, dtype=np.int64) + 1
+        self.region.write_batch(gidxs * _FIELDS, entries, payload_per_unit=4)
+        self.counts[sections] = base + takes
+        self.live_counts[sections] += takes
+        self.peak_counts[sections] = np.maximum(self.peak_counts[sections], base + takes)
+        return gidxs
+
+    def append_scatter(
+        self,
+        gidxs: np.ndarray,
+        srcs: np.ndarray,
+        dst_encs: np.ndarray,
+        back_gidxs: np.ndarray,
+    ) -> np.ndarray:
+        """Persist entries at caller-assigned global indices, in order.
+
+        The caller guarantees each section's indices extend its cursor
+        contiguously (slots ``counts[s] .. counts[s]+k_s-1``); entries
+        from different sections may interleave, matching a batch's
+        stream order.  Counter-equivalent to the same scalar
+        :meth:`append` sequence; returns ``gidxs``.
+        """
+        gidxs = np.asarray(gidxs, dtype=np.int64)
+        k = int(gidxs.size)
+        if k == 0:
+            return gidxs
+        secs, cnts = np.unique(gidxs // self.entries_per_section, return_counts=True)
+        new_counts = self.counts[secs] + cnts
+        if (new_counts > self.entries_per_section).any():
+            raise PMemError("edge-log scatter append overflows a section")
+        entries = np.empty((k, _FIELDS), dtype=np.int32)
+        entries[:, 0] = srcs
+        entries[:, 1] = dst_encs
+        entries[:, 2] = np.asarray(back_gidxs, dtype=np.int64) + 1
+        self.region.write_batch(gidxs * _FIELDS, entries, payload_per_unit=4)
+        self.counts[secs] = new_counts
+        self.live_counts[secs] += cnts
+        self.peak_counts[secs] = np.maximum(self.peak_counts[secs], new_counts)
+        return gidxs
+
     def clear_section(self, section: int) -> None:
         """Reset a section's log after its entries were merged (streaming store)."""
         pos = self._base(section)

@@ -78,6 +78,20 @@ class VertexArray:
     def set_el(self, v: int, value: int) -> None:
         self.el[v] = value
 
+    def bulk_apply_inserts(self, vs, d_degree, d_array_degree, d_live) -> None:
+        """Vectorized insert bookkeeping: add per-vertex deltas.
+
+        ``vs`` holds distinct vertex ids; each delta is an array aligned
+        with ``vs`` (or a scalar).
+        """
+        self.degree[vs] += d_degree
+        self.array_degree[vs] += d_array_degree
+        self.live_degree[vs] += d_live
+
+    def bulk_set_el(self, vs, values) -> None:
+        """Set the edge-log chain head of several distinct vertices."""
+        self.el[vs] = values
+
     def bulk_load(
         self,
         start: np.ndarray,
@@ -176,6 +190,24 @@ class PMVertexArray(VertexArray):
     def set_el(self, v: int, value: int) -> None:
         super().set_el(v, value)
         self._mirror("el", v, value)
+
+    def bulk_apply_inserts(self, vs, d_degree, d_array_degree, d_live) -> None:
+        # Per-write persistent mirroring keeps the ablation's cost model:
+        # degree is mirrored, array/live degree stay DRAM (as in set_*).
+        vs = np.asarray(vs, dtype=np.int64)
+        dd = np.broadcast_to(np.asarray(d_degree, dtype=np.int64), vs.shape)
+        da = np.broadcast_to(np.asarray(d_array_degree, dtype=np.int64), vs.shape)
+        dl = np.broadcast_to(np.asarray(d_live, dtype=np.int64), vs.shape)
+        for i, v in enumerate(vs.tolist()):
+            self.set_degree(v, int(self.degree[v] + dd[i]))
+            self.array_degree[v] += da[i]
+            self.live_degree[v] += dl[i]
+
+    def bulk_set_el(self, vs, values) -> None:
+        vs = np.asarray(vs, dtype=np.int64)
+        values = np.broadcast_to(np.asarray(values, dtype=np.int64), vs.shape)
+        for i, v in enumerate(vs.tolist()):
+            self.set_el(v, int(values[i]))
 
     def bulk_load(self, start, degree, array_degree, live_degree, el) -> None:
         super().bulk_load(start, degree, array_degree, live_degree, el)

@@ -101,6 +101,32 @@ class Region:
         if persist:
             self.device.persist(off, a.size * self.itemsize)
 
+    def write_batch(
+        self, idxs, values, payload_per_unit: Optional[int] = None, persist: bool = True
+    ) -> None:
+        """Batched unit writes at (possibly scattered) element indices.
+
+        ``values`` has one row per index: shape ``(n,)`` writes one
+        element per unit, shape ``(n, k)`` writes ``k`` consecutive
+        elements starting at each index.  Counter-equivalent to the
+        per-unit ``write``/``write_slice(..., persist=True)`` loop.
+        """
+        idxs = np.asarray(idxs, dtype=np.int64)
+        vals = np.ascontiguousarray(values, dtype=self.dtype)
+        n = int(idxs.size)
+        if n == 0:
+            return
+        per_unit = 1 if vals.ndim == 1 else int(vals.shape[1])
+        if int(idxs.min()) < 0 or int(idxs.max()) + per_unit > self.count:
+            raise PMemError(
+                f"region {self.name!r} batch write outside [0, {self.count})"
+            )
+        offs = self.offset + idxs * self.itemsize
+        if persist:
+            self.device.persist_batch(offs, vals, payload_per_unit)
+        else:
+            self.device.store_batch(offs, vals, payload_per_unit)
+
     def nt_write_slice(self, start: int, arr, payload: Optional[int] = None) -> None:
         """Non-temporal streaming store of a contiguous run (bulk loads)."""
         a = np.ascontiguousarray(arr, dtype=self.dtype)

@@ -75,6 +75,35 @@ class CrashInjector:
             self.fired = True
             raise SimulatedCrash(op=event, op_index=self.counts[event])
 
+    def tick_many(self, event: str, n: int) -> None:
+        """Observe ``n`` back-to-back events of one kind in O(1).
+
+        Equivalent to ``n`` calls to :meth:`tick`.  Batched device
+        entry points only take this path when no crash can fire inside
+        the run (unarmed, already fired, or a non-matching event kind);
+        an armed matching plan falls back to per-event ticking so the
+        crash lands on exactly the planned event index.
+        """
+        if n <= 0:
+            return
+        if (
+            self.plan is None
+            or self.fired
+            or (self.plan.event is not None and self.plan.event != event)
+        ):
+            self.counts[event] += n
+            return
+        if self.plan.countdown > n:
+            self.plan.countdown -= n
+            self.counts[event] += n
+            return
+        # The planned event sits inside this run; events past it never
+        # happen (the crash propagates), so only count up to it.
+        self.counts[event] += self.plan.countdown
+        self.plan.countdown = 0
+        self.fired = True
+        raise SimulatedCrash(op=event, op_index=self.counts[event])
+
 
 def iter_crash_points(start: int = 1, stop: Optional[int] = None, step: int = 1) -> Iterator[int]:
     """Countdown values for sweeping crash points (open-ended if ``stop`` is None)."""

@@ -48,6 +48,12 @@ Buffer = Union[bytes, bytearray, memoryview, np.ndarray]
 #: sequential-stream path instead of per-line classification.
 _BULK_FLUSH_LINES = 16
 
+#: ``_recent_flushes`` (line -> flush-op index) is pruned whenever it
+#: exceeds ``_RECENT_FLUSH_SLACK * inplace_window`` entries; only entries
+#: within ``inplace_window`` ops can ever classify a flush as in-place,
+#: so eviction never changes accounting.
+_RECENT_FLUSH_SLACK = 4
+
 
 class PMemDevice:
     """One simulated DIMM region (or a DRAM region with a volatile profile)."""
@@ -97,13 +103,25 @@ class PMemDevice:
             self.crash()
             raise
 
+    @property
+    def recent_flush_capacity(self) -> int:
+        """Hard bound on ``_recent_flushes`` entries (eviction window)."""
+        return max(1, _RECENT_FLUSH_SLACK * self.profile.inplace_window)
+
     def _note_recent_flush(self, line: int) -> None:
         self._recent_flushes[line] = self._flush_op
-        if len(self._recent_flushes) > 4 * self.profile.inplace_window:
+        if len(self._recent_flushes) > self.recent_flush_capacity:
             cutoff = self._flush_op - self.profile.inplace_window
             self._recent_flushes = {
                 ln: op for ln, op in self._recent_flushes.items() if op >= cutoff
             }
+            # Entries older than the window can never classify a future
+            # flush as in-place; if pruning by age ever leaves more than
+            # the capacity (impossible while ops are monotone, but keep
+            # the bound unconditional), drop the oldest outright.
+            if len(self._recent_flushes) > self.recent_flush_capacity:
+                keep = sorted(self._recent_flushes.items(), key=lambda kv: kv[1])
+                self._recent_flushes = dict(keep[-self.recent_flush_capacity :])
 
     # ------------------------------------------------------------------
     # stores
@@ -338,6 +356,234 @@ class PMemDevice:
         """Convenience ``clwb + sfence`` (PMDK's ``pmem_persist``)."""
         self.clwb(off, n)
         self.sfence()
+
+    # ------------------------------------------------------------------
+    # batched persistence (vectorized replay of per-unit scalar ops)
+    # ------------------------------------------------------------------
+    def _crash_sensitive(self) -> bool:
+        """True while an armed injector could fire inside a batched op.
+
+        Batched entry points then fall back to the literal scalar loop so
+        a planned crash lands at exactly the right store/flush/fence with
+        exactly the right partial state.
+        """
+        return self.injector.plan is not None and not self.injector.fired
+
+    @staticmethod
+    def _unit_rows(data: np.ndarray, n: int) -> np.ndarray:
+        """``data`` as an ``(n, unit_bytes)`` uint8 row view."""
+        flat = np.ascontiguousarray(data)
+        return flat.reshape(n, -1).view(np.uint8)
+
+    @staticmethod
+    def _unit_line_seq(offs: np.ndarray, unit: int) -> np.ndarray:
+        """Concatenated per-unit cache-line ranges, in unit order.
+
+        This is the exact line sequence ``clwb(off_i, unit)`` replayed
+        per unit would flush.
+        """
+        first = offs // CACHE_LINE
+        last = (offs + (unit - 1)) // CACHE_LINE
+        lpu = last - first + 1
+        if int(lpu.max()) == 1:
+            return first
+        total = int(lpu.sum())
+        seq = np.repeat(first, lpu)
+        # within-unit line index: 0..lpu_i-1 appended to each first line
+        ends = np.cumsum(lpu)
+        seq += np.arange(total, dtype=np.int64) - np.repeat(ends - lpu, lpu)
+        return seq
+
+    def store_batch(
+        self, offs: np.ndarray, data: np.ndarray, payload_per_unit: Optional[int] = None
+    ) -> None:
+        """``n`` CPU stores of equal-size units at (possibly scattered) offsets.
+
+        Counter-equivalent to ``for off, row in zip(offs, rows):
+        store(off, row, payload_per_unit)`` — same stats, same dirty
+        lines, same modeled time — but vectorized.  ``data`` is any
+        array with ``n`` equal-size rows (``data.nbytes // n`` bytes
+        each).
+        """
+        offs = np.asarray(offs, dtype=np.int64)
+        n = int(offs.size)
+        if n == 0:
+            return
+        data = np.ascontiguousarray(data)
+        unit = data.nbytes // n
+        if unit * n != data.nbytes:
+            raise PMemError("store_batch: data size not divisible into equal units")
+        self._check_range(int(offs.min()), 1)
+        self._check_range(int(offs.max()), unit)
+        if self._crash_sensitive():
+            rows = self._unit_rows(data, n)
+            for i in range(n):
+                self.store(int(offs[i]), rows[i], payload=payload_per_unit)
+            return
+        self.injector.tick_many("store", n)
+
+        # Scatter into the cache image.
+        if offs.size > 1 and int(offs[0]) + (n - 1) * unit == int(offs[-1]) and bool(
+            np.all(np.diff(offs) == unit)
+        ):
+            a = int(offs[0])
+            self.buf[a : a + n * unit] = self._unit_rows(data, n).reshape(-1)
+        elif data.dtype.itemsize == 4 and unit % 4 == 0 and not (offs & 3).any():
+            b32 = self.buf.view(np.uint32)
+            d32 = data.reshape(n, unit // 4).view(np.uint32)
+            idx = offs >> 2
+            for c in range(unit // 4):
+                b32[idx + c] = d32[:, c]
+        else:
+            rows = self._unit_rows(data, n)
+            for i in range(n):
+                a = int(offs[i])
+                self.buf[a : a + unit] = rows[i]
+
+        seq = self._unit_line_seq(offs, unit)
+        self._dirty.update(np.unique(seq).tolist())
+
+        st = self.stats
+        st.stores += n
+        st.stored_bytes += n * unit
+        st.payload_bytes += n * (unit if payload_per_unit is None else payload_per_unit)
+        self._charge(int(seq.size) * self.profile.store_per_line_ns)
+
+    def flush_span(self, offs: np.ndarray, unit: int) -> None:
+        """Replay ``clwb(off_i, unit)`` per unit over the whole span at once.
+
+        Classification (sequential / random / in-place), XPLine media
+        accounting and flush-stream state end up identical to the scalar
+        replay.  Contract: each unit's lines are dirty when its flush
+        runs — true whenever each flush follows the store of the same
+        unit, as :meth:`persist_batch` guarantees.
+        """
+        offs = np.asarray(offs, dtype=np.int64)
+        n = int(offs.size)
+        if n == 0:
+            return
+        self._check_range(int(offs.min()), 1)
+        self._check_range(int(offs.max()), unit)
+        if self._crash_sensitive():
+            for i in range(n):
+                self.clwb(int(offs[i]), unit)
+            return
+        self.injector.tick_many("flush", n)
+
+        prof, st = self.profile, self.stats
+        seq = self._unit_line_seq(offs, unit)
+        m = int(seq.size)
+        xp = seq * CACHE_LINE // XPLINE
+        window = prof.inplace_window
+
+        # Physical write-back: the last flush of every line follows its
+        # last store, so final media content = final cache content.
+        lines = np.unique(seq)
+        bl = self.buf.reshape(-1, CACHE_LINE)
+        ml = self.media.reshape(-1, CACHE_LINE)
+        ml[lines] = bl[lines]
+        self._dirty.difference_update(lines.tolist())
+
+        # In-place: the same line was flushed at most `window` flush ops
+        # earlier.  Within the span the op gap equals the index gap, so
+        # shifted comparisons cover it ...
+        inplace = np.zeros(m, dtype=bool)
+        for k in range(1, min(window, m - 1) + 1):
+            inplace[k:] |= seq[k:] == seq[:-k]
+        # ... and only the first `window` flushes can still pair with a
+        # pre-span flush recorded in _recent_flushes.
+        if self._recent_flushes:
+            base_op = self._flush_op
+            for i in range(min(window, m)):
+                if not inplace[i]:
+                    op = self._recent_flushes.get(int(seq[i]))
+                    if op is not None and (base_op + i + 1 - op) <= window:
+                        inplace[i] = True
+
+        prev_line = np.empty(m, dtype=np.int64)
+        prev_line[0] = self._last_flush_line
+        prev_line[1:] = seq[:-1]
+        prev_xp = np.empty(m, dtype=np.int64)
+        prev_xp[0] = self._last_media_xpline
+        prev_xp[1:] = xp[:-1]
+        seq_mask = ~inplace & ((seq == prev_line + 1) | (xp == prev_xp))
+        n_ip = int(inplace.sum())
+        n_sq = int(seq_mask.sum())
+        n_rd = m - n_ip - n_sq
+
+        st.flushes += m
+        st.flushed_lines += m
+        st.flushed_bytes += m * CACHE_LINE
+        st.inplace_flushes += n_ip
+        st.rnd_flushes += n_ip + n_rd
+        st.seq_flushes += n_sq
+        n_media = n_ip + n_rd + int((seq_mask & (xp != prev_xp)).sum())
+        st.media_bytes += n_media * XPLINE
+        self._charge(
+            n_ip * (prof.flush_rnd_per_line_ns + prof.flush_inplace_extra_ns)
+            + n_sq * prof.flush_seq_per_line_ns
+            + n_rd * prof.flush_rnd_per_line_ns
+        )
+
+        base_op = self._flush_op
+        self._flush_op = base_op + m
+        self._last_flush_line = int(seq[-1])
+        self._last_media_xpline = int(xp[-1])
+        # Rebuild the recent-flush map: pre-span entries still inside the
+        # window (only possible if the span was shorter than it) plus the
+        # span's own last `window` flushes.
+        tail = min(window, m)
+        if m <= window and self._recent_flushes:
+            cutoff = self._flush_op - window
+            recent = {ln: op for ln, op in self._recent_flushes.items() if op >= cutoff}
+        else:
+            recent = {}
+        for i in range(m - tail, m):
+            recent[int(seq[i])] = base_op + i + 1
+        self._recent_flushes = recent
+
+    def sfence_batch(self, n: int) -> None:
+        """``n`` back-to-back fences (one per persisted unit)."""
+        if n <= 0:
+            return
+        if self._crash_sensitive():
+            for _ in range(n):
+                self.sfence()
+            return
+        self.injector.tick_many("fence", n)
+        self.stats.fences += n
+        self._charge(n * self.profile.fence_ns)
+
+    def persist_batch(
+        self, offs: np.ndarray, data: np.ndarray, payload_per_unit: Optional[int] = None
+    ) -> None:
+        """Vectorized replay of ``(store; clwb; sfence)`` per unit.
+
+        The accounting contract: identical integer counters to the
+        scalar loop (and modeled ns up to float summation order), at a
+        fraction of the interpreter cost.  With an armed crash injector
+        the literal scalar loop runs instead, so mid-batch crashes leave
+        exactly the prefix a real interleaved stream would.
+        """
+        offs = np.asarray(offs, dtype=np.int64)
+        n = int(offs.size)
+        if n == 0:
+            return
+        data = np.ascontiguousarray(data)
+        unit = data.nbytes // n
+        if unit * n != data.nbytes:
+            raise PMemError("persist_batch: data size not divisible into equal units")
+        if self._crash_sensitive():
+            rows = self._unit_rows(data, n)
+            for i in range(n):
+                off = int(offs[i])
+                self.store(off, rows[i], payload=payload_per_unit)
+                self.clwb(off, unit)
+                self.sfence()
+            return
+        self.store_batch(offs, data, payload_per_unit)
+        self.flush_span(offs, unit)
+        self.sfence_batch(n)
 
     # ------------------------------------------------------------------
     # failure / durability

@@ -1,0 +1,251 @@
+"""Batched vs per-edge equivalence for the whole mutation pipeline.
+
+The batched pipeline's core claim (ISSUE acceptance criterion): inserting
+an :class:`EdgeBatch` is bit-equivalent — graph contents *and* modeled PM
+media bytes — to inserting the same edges one at a time.
+
+For DGAP the batch may *reorder* edges across sections (never within a
+source vertex), so the exact contract is: after growing the vertex space
+to the batch's maximum upfront (which ``_insert_batch`` does first), the
+batched insert produces the same persistent state and the same integer
+``PMemStats`` — stores, flushes by class, fences, media bytes — as
+replaying ``insert_edge`` one edge at a time in the order the batch
+recorded in ``last_batch_order``.  Against the *original* stream order
+the graph contents still match exactly; only the flush-classification
+mix (and hence modeled ns) may differ, because flush cost is inherently
+order-dependent on the device.
+
+The baseline systems don't reorder, so for them batched == per-edge in
+stream order, counters and all.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import DGAP, DGAPConfig
+from repro.pmem import CrashInjector
+from repro.bench.harness import build_system
+from repro.core.batch import EdgeBatch
+from repro.errors import SimulatedCrash
+
+INT_STATS = (
+    "stores",
+    "stored_bytes",
+    "payload_bytes",
+    "flushes",
+    "flushed_lines",
+    "flushed_bytes",
+    "seq_flushes",
+    "rnd_flushes",
+    "inplace_flushes",
+    "media_bytes",
+    "fences",
+    "ntstores",
+    "ntstored_bytes",
+    "seq_read_bytes",
+    "rnd_reads",
+)
+
+common = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+batches = st.lists(
+    st.tuples(st.integers(0, 47), st.integers(0, 47), st.booleans()),
+    min_size=1,
+    max_size=400,
+)
+
+
+def dgap_stats(g):
+    return {k: getattr(g.pool.stats, k) for k in INT_STATS}
+
+
+def graph_sig(g):
+    return {
+        v: sorted(g.out_neighbors(v).tolist()) for v in range(g.num_vertices)
+    }
+
+
+def _to_batch(triples):
+    arr = np.asarray(triples, dtype=np.int64)
+    return EdgeBatch(arr[:, 0], arr[:, 1], arr[:, 2].astype(bool))
+
+
+CFG = dict(init_vertices=16, init_edges=64)
+
+
+class TestDGAPEquivalence:
+    @given(batches)
+    @common
+    def test_batched_equals_replay_in_recorded_order(self, triples):
+        batch = _to_batch(triples)
+        a = DGAP(DGAPConfig(**CFG))
+        n = a.insert_edges(batch)
+        assert n == len(batch)
+        order = a.last_batch_order
+        np.testing.assert_array_equal(np.sort(order), np.arange(len(batch)))
+
+        b = DGAP(DGAPConfig(**CFG))
+        if batch.max_vertex() >= b.va.num_vertices:
+            b.insert_vertex(batch.max_vertex())
+        for i in order.tolist():
+            b.insert_edge(int(batch.src[i]), int(batch.dst[i]),
+                          tombstone=bool(batch.tombstone[i]))
+
+        assert graph_sig(a) == graph_sig(b)
+        assert dgap_stats(a) == dgap_stats(b)  # includes media_bytes
+        assert a.pool.stats.modeled_ns == pytest.approx(
+            b.pool.stats.modeled_ns, rel=1e-9
+        )
+        a.check_invariants()
+        b.check_invariants()
+
+    @given(batches)
+    @common
+    def test_batched_equals_stream_order_on_graph_contents(self, triples):
+        batch = _to_batch(triples)
+        a = DGAP(DGAPConfig(**CFG))
+        a.insert_edges(batch)
+        c = DGAP(DGAPConfig(**CFG))
+        for s, d, t in triples:
+            c.insert_edge(s, d, tombstone=bool(t))
+        assert graph_sig(a) == graph_sig(c)
+        assert a.num_edges == c.num_edges
+
+    def test_per_source_order_is_preserved(self):
+        # within one source, batch insertion must keep stream order
+        # (neighbor lists are append-ordered until a rebalance sorts them)
+        g = DGAP(DGAPConfig(**CFG))
+        srcs = np.zeros(20, dtype=np.int64)
+        dsts = np.arange(20, dtype=np.int64)[::-1].copy()
+        g.insert_edges(EdgeBatch(srcs, dsts))
+        h = DGAP(DGAPConfig(**CFG))
+        for d in dsts.tolist():
+            h.insert_edge(0, int(d))
+        assert g.out_neighbors(0).tolist() == h.out_neighbors(0).tolist()
+
+    def test_chunked_insert_counts_all_edges(self):
+        rng = np.random.default_rng(0)
+        arr = rng.integers(0, 40, size=(333, 2)).astype(np.int64)
+        g = DGAP(DGAPConfig(**CFG))
+        assert g.insert_edges(arr, batch_size=64) == 333
+
+    def test_tombstones_count_as_accepted(self):
+        g = DGAP(DGAPConfig(**CFG))
+        b = EdgeBatch(
+            np.array([1, 1, 1]), np.array([2, 2, 3]),
+            np.array([False, True, False]),
+        )
+        assert g.insert_edges(b) == 3
+        assert g.out_neighbors(1).tolist() == [3]
+
+
+BASELINES = ("graphone", "llama", "xpgraph", "bal")
+
+
+class TestBaselineEquivalence:
+    @pytest.mark.parametrize("name", BASELINES)
+    def test_batched_equals_per_edge(self, name):
+        rng = np.random.default_rng(13)
+        ne = 3000
+        edges = rng.integers(0, 64, size=(ne, 2)).astype(np.int64)
+
+        a = build_system(name, 64, ne)
+        a.insert_edges(edges, batch_size=None)
+        b = build_system(name, 64, ne)
+        for s, d in edges.tolist():
+            b.insert_edge(s, d)
+
+        assert a.modeled_insert_ns() == pytest.approx(b.modeled_insert_ns(), rel=1e-9)
+        assert a.pm_media_bytes() == b.pm_media_bytes()
+        for da, db in zip(a._devices(), b._devices()):
+            sa = {k: getattr(da.stats, k) for k in INT_STATS}
+            sb = {k: getattr(db.stats, k) for k in INT_STATS}
+            assert sa == sb
+        pa, da_ = a.analysis_view()._materialize_out()
+        pb, db_ = b.analysis_view()._materialize_out()
+        for v in range(64):
+            assert sorted(da_[pa[v] : pa[v + 1]].tolist()) == sorted(
+                db_[pb[v] : pb[v + 1]].tolist()
+            )
+
+    @pytest.mark.parametrize("name", BASELINES)
+    def test_chunking_does_not_change_state(self, name):
+        rng = np.random.default_rng(29)
+        ne = 2000
+        edges = rng.integers(0, 48, size=(ne, 2)).astype(np.int64)
+        a = build_system(name, 48, ne)
+        a.insert_edges(edges, batch_size=None)
+        b = build_system(name, 48, ne)
+        b.insert_edges(edges, batch_size=77)
+        assert a.modeled_insert_ns() == pytest.approx(b.modeled_insert_ns(), rel=1e-9)
+        assert a.pm_media_bytes() == b.pm_media_bytes()
+
+
+class TestMidBatchCrash:
+    def _edges(self, n=600, nv=32, seed=3):
+        rng = np.random.default_rng(seed)
+        return rng.integers(0, nv, size=(n, 2)).astype(np.int64)
+
+    @pytest.mark.parametrize("countdown", [1, 7, 50, 400, 2000])
+    def test_crash_inside_batch_recovers_consistently(self, countdown):
+        edges = self._edges()
+        cfg = DGAPConfig(init_vertices=32, init_edges=128)
+        inj = CrashInjector()
+        g = DGAP(cfg, injector=inj)
+        inj.arm(countdown, "store")
+        try:
+            g.insert_edges(edges)
+            crashed = False
+        except SimulatedCrash:
+            crashed = True
+        inj.disarm()
+        if not crashed:
+            return  # countdown beyond the batch's stores: nothing to test
+        g2 = DGAP.open(g.pool, cfg)
+        g2.check_invariants()
+        # recovered state holds a subset of the batch (no invented edges,
+        # no duplicates beyond the stream's own)
+        want = {}
+        for s, d in edges.tolist():
+            want.setdefault(s, []).append(d)
+        with g2.consistent_view() as snap:
+            for v in range(32):
+                got = sorted(snap.out_neighbors(v).tolist())
+                assert _is_multisubset(got, sorted(want.get(v, []))), (v, got)
+        # and the recovered graph keeps working
+        n0 = g2.num_edges
+        g2.insert_edges(self._edges(100, seed=4))
+        assert g2.num_edges == n0 + 100
+        g2.check_invariants()
+
+    def test_crash_on_fence_recovers(self):
+        edges = self._edges(400, seed=5)
+        cfg = DGAPConfig(init_vertices=32, init_edges=128)
+        inj = CrashInjector()
+        g = DGAP(cfg, injector=inj)
+        inj.arm(40, "fence")
+        with pytest.raises(SimulatedCrash):
+            g.insert_edges(edges)
+        inj.disarm()
+        g2 = DGAP.open(g.pool, cfg)
+        g2.check_invariants()
+        assert g2.num_edges <= 400
+
+
+def _is_multisubset(sub, sup):
+    it = iter(sup)
+    for x in sub:
+        for y in it:
+            if y == x:
+                break
+            if y > x:
+                return False
+        else:
+            return False
+    return True

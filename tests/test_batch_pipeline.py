@@ -1,0 +1,398 @@
+"""Unit tests for the batched mutation pipeline's building blocks.
+
+Covers the three layers beneath ``DGAP.insert_edges``:
+
+* :class:`~repro.core.batch.EdgeBatch` construction/validation/grouping;
+* the device's batched persistence ops (``store_batch`` / ``flush_span``
+  / ``sfence_batch`` / ``persist_batch``), whose contract is *counter
+  equivalence*: identical integer :class:`PMemStats` and media bytes to
+  the scalar ``store``/``clwb``/``sfence`` loop they replace;
+* :class:`~repro.core.edge_log.EdgeLogs` batched appends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import EdgeBatch, extend_adjacency
+from repro.core.edge_log import EdgeLogs
+from repro.core.encoding import MAX_VERTEX, TOMB_BIT, encode_edge
+from repro.errors import GraphError, PMemError, SimulatedCrash, VertexRangeError
+from repro.pmem import CACHE_LINE, DRAM, OPTANE_ADR, OPTANE_EADR, PMemDevice, PMemPool
+from repro.pmem.crash import CrashInjector
+
+INT_STATS = (
+    "stores",
+    "stored_bytes",
+    "payload_bytes",
+    "flushes",
+    "flushed_lines",
+    "flushed_bytes",
+    "seq_flushes",
+    "rnd_flushes",
+    "inplace_flushes",
+    "media_bytes",
+    "fences",
+    "ntstores",
+    "ntstored_bytes",
+)
+
+
+def int_stats(dev):
+    return {k: getattr(dev.stats, k) for k in INT_STATS}
+
+
+class TestEdgeBatch:
+    def test_coerce_ndarray(self):
+        arr = np.array([[1, 2], [3, 4], [1, 5]], dtype=np.int64)
+        b = EdgeBatch.coerce(arr)
+        assert len(b) == 3
+        np.testing.assert_array_equal(b.src, [1, 3, 1])
+        np.testing.assert_array_equal(b.dst, [2, 4, 5])
+        assert not b.tombstone.any()
+
+    def test_coerce_pairs_and_passthrough(self):
+        b = EdgeBatch.coerce([(0, 1), (2, 3)])
+        assert list(b) == [(0, 1), (2, 3)]
+        assert EdgeBatch.coerce(b) is b
+
+    def test_coerce_empty(self):
+        assert len(EdgeBatch.coerce(np.empty((0, 2), dtype=np.int64))) == 0
+        assert len(EdgeBatch.coerce([])) == 0
+
+    def test_coerce_bad_shape(self):
+        with pytest.raises(GraphError):
+            EdgeBatch.coerce(np.zeros((3, 3), dtype=np.int64))
+
+    def test_length_mismatch(self):
+        with pytest.raises(GraphError):
+            EdgeBatch(np.array([1, 2]), np.array([3]))
+
+    def test_validation_bounds(self):
+        with pytest.raises(VertexRangeError):
+            EdgeBatch(np.array([-1]), np.array([0]))
+        with pytest.raises(VertexRangeError):
+            EdgeBatch(np.array([0]), np.array([MAX_VERTEX + 1]))
+        EdgeBatch(np.array([0]), np.array([MAX_VERTEX]))  # boundary OK
+
+    def test_single_and_max_vertex(self):
+        b = EdgeBatch.single(7, 9, tombstone=True)
+        assert len(b) == 1 and b.tombstone[0]
+        assert b.max_vertex() == 9
+        assert EdgeBatch.empty().max_vertex() == -1
+
+    def test_chunks(self):
+        b = EdgeBatch(np.arange(10), np.arange(10))
+        parts = list(b.chunks(4))
+        assert [len(p) for p in parts] == [4, 4, 2]
+        np.testing.assert_array_equal(
+            np.concatenate([p.src for p in parts]), b.src
+        )
+        with pytest.raises(GraphError):
+            list(b.chunks(0))
+
+    def test_encoded_matches_scalar_encoding(self):
+        b = EdgeBatch(
+            np.array([0, 1, 2]), np.array([5, 6, 7]), np.array([False, True, False])
+        )
+        enc = b.encoded()
+        assert enc[0] == encode_edge(5)
+        assert enc[1] == encode_edge(6, tombstone=True)
+        assert enc[1] & TOMB_BIT
+        np.testing.assert_array_equal(b.live_deltas(), [1, -1, 1])
+
+    def test_grouped_order_stable_per_source(self):
+        sections = np.array([1, 0, 1, 0, 1])
+        srcs = np.array([5, 2, 5, 2, 4])
+        order = EdgeBatch.grouped_order(sections, srcs)
+        # section-major, source-minor; equal keys keep stream order
+        assert sections[order].tolist() == [0, 0, 1, 1, 1]
+        assert order.tolist() == [1, 3, 4, 0, 2]
+
+    def test_extend_adjacency_preserves_per_src_order(self):
+        adj = [[] for _ in range(4)]
+        srcs = np.array([2, 0, 2, 1, 0, 2])
+        dsts = np.array([9, 8, 7, 6, 5, 4])
+        extend_adjacency(adj, srcs, dsts)
+        assert adj == [[8, 5], [6], [9, 7, 4], []]
+
+
+def _run_pattern(profile, fn_scalar, fn_batched):
+    """Run the same op stream scalar vs batched; compare full device state."""
+    a = PMemDevice(1 << 20, profile=profile)
+    b = PMemDevice(1 << 20, profile=profile)
+    fn_scalar(a)
+    fn_batched(b)
+    assert int_stats(a) == int_stats(b)
+    assert abs(a.stats.modeled_ns - b.stats.modeled_ns) <= 1e-6 * max(
+        1.0, a.stats.modeled_ns
+    )
+    np.testing.assert_array_equal(a.media, b.media)
+    np.testing.assert_array_equal(a.buf, b.buf)
+    assert a._dirty == b._dirty
+
+    # The recent-flush maps may differ in already-expired entries (the
+    # scalar path prunes lazily); only entries still inside the in-place
+    # window can affect future classification.
+    def effective(dev):
+        lo = dev._flush_op + 1 - dev.profile.inplace_window
+        return {ln: op for ln, op in dev._recent_flushes.items() if op >= lo}
+
+    assert effective(a) == effective(b)
+    assert a._flush_op == b._flush_op
+    assert a._last_flush_line == b._last_flush_line
+    assert a._last_media_xpline == b._last_media_xpline
+
+
+PATTERNS = {
+    # contiguous ascending units -> sequential flush stream
+    "contiguous": np.arange(64, dtype=np.int64) * 12 + 256,
+    # scattered offsets -> random-dominated
+    "scattered": (np.arange(64, dtype=np.int64) * 977 + 64) % (1 << 18),
+    # repeated same line -> in-place storm
+    "inplace": np.tile(np.int64(512), 32),
+    # strided across XPLines
+    "strided": np.arange(32, dtype=np.int64) * 320,
+    # a single unit
+    "single": np.array([4096], dtype=np.int64),
+    # units straddling cache-line boundaries
+    "straddle": np.arange(16, dtype=np.int64) * 200 + CACHE_LINE - 4,
+}
+
+
+class TestDeviceBatchEquivalence:
+    @pytest.mark.parametrize("profile", [OPTANE_ADR, OPTANE_EADR, DRAM])
+    @pytest.mark.parametrize("pattern", sorted(PATTERNS))
+    def test_persist_batch_counter_equivalent(self, profile, pattern):
+        offs = PATTERNS[pattern]
+        rng = np.random.default_rng(7)
+        data = rng.integers(0, 2**31, size=(offs.size, 3), dtype=np.int32)
+
+        def scalar(dev):
+            rows = data.view(np.uint8).reshape(offs.size, -1)
+            for i in range(offs.size):
+                dev.store(int(offs[i]), rows[i], payload=4)
+                dev.clwb(int(offs[i]), 12)
+                dev.sfence()
+
+        _run_pattern(
+            profile, scalar, lambda dev: dev.persist_batch(offs, data, payload_per_unit=4)
+        )
+
+    def test_store_batch_without_flush(self):
+        offs = PATTERNS["scattered"]
+        data = np.arange(offs.size * 2, dtype=np.int32).reshape(offs.size, 2)
+
+        def scalar(dev):
+            rows = data.view(np.uint8).reshape(offs.size, -1)
+            for i in range(offs.size):
+                dev.store(int(offs[i]), rows[i])
+
+        _run_pattern(OPTANE_ADR, scalar, lambda dev: dev.store_batch(offs, data))
+
+    def test_flush_span_after_prewarmed_recent_flushes(self):
+        # flushes issued *before* the batch can still classify the batch's
+        # first `inplace_window` flushes as in-place.
+        offs = np.array([0, 64, 128, 0, 64], dtype=np.int64)
+        warm = np.array([0, 64], dtype=np.int64)
+
+        def scalar(dev):
+            for w in warm:
+                dev.store(int(w), b"x" * 8)
+                dev.clwb(int(w), 8)
+            # interleaved per-unit store+flush — the stream flush_span models
+            # (a repeated offset is re-stored, so its line is dirty again)
+            for o in offs:
+                dev.store(int(o), b"y" * 8)
+                dev.clwb(int(o), 8)
+
+        def batched(dev):
+            for w in warm:
+                dev.store(int(w), b"x" * 8)
+                dev.clwb(int(w), 8)
+            dev.store_batch(offs, np.frombuffer(b"y" * 8 * offs.size, dtype=np.uint8))
+            dev.flush_span(offs, 8)
+
+        _run_pattern(OPTANE_ADR, scalar, batched)
+        # and the in-place path actually fired
+        d = PMemDevice(1 << 20)
+        batched(d)
+        assert d.stats.inplace_flushes > 0
+
+    def test_sfence_batch(self):
+        def scalar(dev):
+            for _ in range(17):
+                dev.sfence()
+
+        _run_pattern(OPTANE_ADR, scalar, lambda dev: dev.sfence_batch(17))
+
+    def test_empty_batches_are_noops(self):
+        dev = PMemDevice(1 << 16)
+        before = int_stats(dev)
+        z = np.empty(0, dtype=np.int64)
+        dev.store_batch(z, np.empty(0, dtype=np.int32))
+        dev.flush_span(z, 12)
+        dev.sfence_batch(0)
+        dev.persist_batch(z, np.empty(0, dtype=np.int32))
+        assert int_stats(dev) == before
+
+    def test_indivisible_data_rejected(self):
+        dev = PMemDevice(1 << 16)
+        with pytest.raises(PMemError):
+            dev.store_batch(np.array([0, 64]), np.zeros(9, dtype=np.uint8))
+
+    def test_out_of_range_rejected(self):
+        dev = PMemDevice(1 << 12)
+        with pytest.raises(PMemError):
+            dev.store_batch(
+                np.array([0, dev.size], dtype=np.int64), np.zeros(8, dtype=np.uint8)
+            )
+
+
+class TestRecentFlushBound:
+    def test_recent_flushes_stay_bounded_scalar(self):
+        dev = PMemDevice(8 << 20)
+        cap = dev.recent_flush_capacity
+        for i in range(4 * cap):
+            off = i * CACHE_LINE
+            dev.store(off, b"z" * 8)
+            dev.clwb(off, 8)
+        assert len(dev._recent_flushes) <= cap
+
+    def test_recent_flushes_stay_bounded_batched(self):
+        dev = PMemDevice(8 << 20)
+        offs = np.arange(4 * dev.recent_flush_capacity, dtype=np.int64) * CACHE_LINE
+        dev.persist_batch(offs, np.zeros((offs.size, 2), dtype=np.int32))
+        assert len(dev._recent_flushes) <= dev.recent_flush_capacity
+
+    def test_eviction_never_changes_classification(self):
+        # Revisit a line *after* more than inplace_window other flushes:
+        # must be random whether or not its entry was evicted.
+        dev = PMemDevice(8 << 20)
+        w = dev.profile.inplace_window
+        lines = list(range(1, 3 * w)) + [0]
+        dev.store(0, b"a" * 8)
+        dev.clwb(0, 8)
+        for ln in lines:
+            dev.store(ln * CACHE_LINE, b"b" * 8)
+            dev.clwb(ln * CACHE_LINE, 8)
+        assert dev.stats.inplace_flushes == 0
+
+
+class TestTickMany:
+    def test_counts_match_scalar(self):
+        a, b = CrashInjector(), CrashInjector()
+        for _ in range(5):
+            a.tick("store")
+        b.tick_many("store", 5)
+        assert a.counts == b.counts
+
+    def test_armed_plan_fires_at_exact_index(self):
+        inj = CrashInjector()
+        inj.arm(3, "flush")
+        inj.tick_many("store", 10)  # non-matching kind: no fire
+        with pytest.raises(SimulatedCrash) as ei:
+            inj.tick_many("flush", 5)
+        assert inj.counts["flush"] == 3  # events past the crash never happen
+        assert ei.value.op == "flush"
+
+    def test_plan_beyond_run_decrements(self):
+        inj = CrashInjector()
+        inj.arm(10, "store")
+        inj.tick_many("store", 4)
+        assert inj.plan.countdown == 6
+        assert inj.counts["store"] == 4
+
+    def test_armed_device_falls_back_to_scalar_loop(self):
+        dev = PMemDevice(1 << 16)
+        dev.injector.arm(5, "store")
+        offs = np.arange(8, dtype=np.int64) * 64
+        with pytest.raises(SimulatedCrash):
+            dev.persist_batch(offs, np.zeros((8, 2), dtype=np.int32))
+        # exactly 4 stores landed before the planned 5th
+        assert dev.stats.stores == 4
+
+
+class TestEdgeLogBatchedAppends:
+    @pytest.fixture
+    def pool(self):
+        return PMemPool(4 << 20)
+
+    def _scalar_logs(self, pool_size=4 << 20, **kw):
+        return EdgeLogs(PMemPool(pool_size), **kw)
+
+    def test_append_batch_equivalent(self, pool):
+        kw = dict(n_sections=4, entries_per_section=32)
+        a = self._scalar_logs(**kw)
+        b = EdgeLogs(pool, **kw)
+        srcs = np.arange(10, dtype=np.int64)
+        encs = np.array([int(encode_edge(d)) for d in range(10)], dtype=np.int64)
+        backs = np.full(10, -1, dtype=np.int64)
+        ga = [a.append(2, int(s), int(e), -1) for s, e in zip(srcs, encs)]
+        gb = b.append_batch(2, srcs, encs, backs)
+        assert ga == gb.tolist()
+        assert int_stats(a.pool.device) == int_stats(b.pool.device)
+        np.testing.assert_array_equal(a.region.view, b.region.view)
+        np.testing.assert_array_equal(a.counts, b.counts)
+
+    def test_append_scatter_interleaved_equivalent(self, pool):
+        kw = dict(n_sections=4, entries_per_section=32)
+        a = self._scalar_logs(**kw)
+        b = EdgeLogs(pool, **kw)
+        # entries alternating between sections, as a batch's stream order does
+        secs = np.array([0, 3, 0, 1, 3, 0], dtype=np.int64)
+        srcs = np.array([5, 9, 5, 7, 9, 6], dtype=np.int64)
+        encs = np.array([int(encode_edge(d)) for d in (1, 2, 3, 4, 5, 6)])
+        backs = np.array([-1, -1, 0, -1, 33, -1], dtype=np.int64)
+        ga = [
+            a.append(int(s), int(v), int(e), int(bk))
+            for s, v, e, bk in zip(secs, srcs, encs, backs)
+        ]
+        # caller-assigned gidxs: each section's cursor run, in stream order
+        slot = np.zeros(4, dtype=np.int64)
+        gidxs = np.empty(6, dtype=np.int64)
+        for i, s in enumerate(secs):
+            gidxs[i] = s * kw["entries_per_section"] + slot[s]
+            slot[s] += 1
+        gb = b.append_scatter(gidxs, srcs, encs, backs)
+        assert ga == gb.tolist()
+        assert int_stats(a.pool.device) == int_stats(b.pool.device)
+        np.testing.assert_array_equal(a.region.view, b.region.view)
+        np.testing.assert_array_equal(a.counts, b.counts)
+        np.testing.assert_array_equal(a.live_counts, b.live_counts)
+        np.testing.assert_array_equal(a.peak_counts, b.peak_counts)
+
+    def test_append_batch_overflow(self, pool):
+        logs = EdgeLogs(pool, n_sections=2, entries_per_section=4)
+        srcs = np.zeros(5, dtype=np.int64)
+        with pytest.raises(PMemError):
+            logs.append_batch(0, srcs, srcs + 1, srcs - 1)
+
+    def test_append_scatter_overflow(self, pool):
+        logs = EdgeLogs(pool, n_sections=2, entries_per_section=4)
+        logs.append(0, 1, int(encode_edge(1)), -1)
+        logs.append(0, 1, int(encode_edge(2)), -1)
+        # 3 more entries would push section 0 past its 4-entry capacity
+        gidxs = np.arange(3, dtype=np.int64)
+        z = np.zeros(3, dtype=np.int64)
+        with pytest.raises(PMemError):
+            logs.append_scatter(gidxs, z, z + 1, z - 1)
+
+    def test_append_spans_equivalent(self, pool):
+        kw = dict(n_sections=3, entries_per_section=16)
+        a = self._scalar_logs(**kw)
+        b = EdgeLogs(pool, **kw)
+        secs = np.array([0, 2], dtype=np.int64)
+        takes = np.array([2, 3], dtype=np.int64)
+        srcs = np.array([1, 1, 8, 8, 9], dtype=np.int64)
+        encs = np.array([int(encode_edge(d)) for d in (1, 2, 3, 4, 5)])
+        backs = np.full(5, -1, dtype=np.int64)
+        ga = []
+        k = 0
+        for s, t in zip(secs, takes):
+            for _ in range(int(t)):
+                ga.append(a.append(int(s), int(srcs[k]), int(encs[k]), -1))
+                k += 1
+        gb = b.append_spans(secs, takes, srcs, encs, backs)
+        assert ga == gb.tolist()
+        assert int_stats(a.pool.device) == int_stats(b.pool.device)
+        np.testing.assert_array_equal(a.region.view, b.region.view)
