@@ -7,7 +7,7 @@ compresses trees by pointer jumping; converges in O(log V) rounds.
 The paper observes CC scales poorly on *all* systems because of the
 GAPBS implementation's ``parallel for`` scheduling (§4.3.1); we model
 that as a larger serial fraction on the per-round scan rather than
-inheriting a compiler artifact (DESIGN.md §6).
+inheriting a compiler artifact (DESIGN.md §8).
 """
 
 from __future__ import annotations

@@ -24,7 +24,7 @@ from .harness import (
     pick_source,
     run_kernel,
 )
-from .reporting import format_table, ingest_phase_table
+from .reporting import crash_sweep_table, format_table, ingest_phase_table
 
 SYSTEM_ORDER = ("dgap", "bal", "llama", "graphone", "xpgraph")
 
@@ -114,6 +114,58 @@ def cmd_recovery(args) -> None:
     ))
 
 
+_SWEEP_POLICIES = ("default", "torn", "reorder", "adversarial")
+
+
+def cmd_crash_sweep(args) -> None:
+    from ..pmem.faults import (
+        ADVERSARIAL,
+        DEFAULT_POLICY,
+        PERSIST_REORDER,
+        TORN_STORES,
+        FaultPolicy,
+    )
+    from ..testing import SweepConfig, crash_sweep, make_insert_workload
+
+    base = {
+        "default": DEFAULT_POLICY,
+        "torn": TORN_STORES,
+        "reorder": PERSIST_REORDER,
+        "adversarial": ADVERSARIAL,
+    }[args.policy]
+    policy = FaultPolicy(
+        torn_stores=base.torn_stores,
+        persist_reorder=base.persist_reorder,
+        poison_on_crash=args.poison,
+        seed=args.seed,
+    )
+    spec = get_dataset(args.dataset)
+    edges = spec.generate(args.scale)[: args.edges]
+    nv = int(edges.max()) + 1 if edges.size else 1
+    cfg = DGAPConfig(init_vertices=nv, init_edges=max(len(edges), 64))
+
+    def make_graph(injector, faults):
+        return DGAP(cfg, injector=injector, faults=faults)
+
+    report = crash_sweep(
+        make_graph,
+        make_insert_workload(edges),
+        SweepConfig(
+            faults=policy,
+            exhaustive_threshold=args.exhaustive_threshold,
+            samples=args.points,
+            seed=args.seed,
+        ),
+    )
+    print(crash_sweep_table(
+        report,
+        title=(
+            f"crash sweep — {args.dataset} ({len(edges)} edges, "
+            f"policy {args.policy}, seed {args.seed})"
+        ),
+    ))
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.bench", description=__doc__)
     sub = parser.add_subparsers(dest="cmd", required=True)
@@ -146,6 +198,23 @@ def main(argv=None) -> int:
     p.add_argument("--scale", type=float, default=0.5)
     add_batch_size(p)
     p.set_defaults(fn=cmd_recovery)
+
+    p = sub.add_parser(
+        "crash-sweep",
+        help="crash-consistency sweep with the recovery oracle (robustness)",
+    )
+    p.add_argument("--dataset", choices=sorted(DATASETS), default="orkut")
+    p.add_argument("--scale", type=float, default=0.05)
+    p.add_argument("--edges", type=int, default=120,
+                   help="cap the workload to this many edges (scalar replay per point)")
+    p.add_argument("--policy", choices=_SWEEP_POLICIES, default="default")
+    p.add_argument("--poison", type=float, default=0.0,
+                   help="probability a lost line is poisoned at crash (media faults)")
+    p.add_argument("--points", type=int, default=200,
+                   help="sampled crash points when above the exhaustive threshold")
+    p.add_argument("--exhaustive-threshold", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_crash_sweep)
 
     args = parser.parse_args(argv)
     args.fn(args)

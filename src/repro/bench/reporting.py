@@ -79,6 +79,37 @@ def ingest_phase_table(results: Iterable) -> str:
     )
 
 
+def crash_sweep_table(report, title: str = "crash sweep") -> str:
+    """Summarize a :class:`~repro.testing.SweepReport` (§4.4 robustness).
+
+    One table: sweep coverage (events, points, exhaustive or sampled),
+    oracle outcomes (in-flight ops that landed, reported-unrecoverable
+    points under a poison policy), and the modeled recovery-time
+    distribution across crash points.
+    """
+    pol = report.policy
+    faults = ", ".join(
+        s for s, on in (
+            ("torn-stores", pol.torn_stores),
+            ("persist-reorder", pol.persist_reorder),
+            (f"poison={pol.poison_on_crash}", pol.poison_on_crash > 0),
+        ) if on
+    ) or "none (clean ADR)"
+    rows = [
+        ("persistence events", report.total_events),
+        ("crash points swept", report.crash_points),
+        ("coverage", "exhaustive" if report.exhaustive else "sampled"),
+        ("fault policy", faults),
+        ("in-flight op landed", report.in_flight_applied_count()),
+        ("unrecoverable (reported)", report.unrecoverable_count()),
+    ]
+    stats = report.recovery_stats()
+    for key in ("min_us", "p50_us", "mean_us", "p95_us", "max_us"):
+        if key in stats:
+            rows.append((f"recovery {key[:-3]} (us)", stats[key]))
+    return format_table(title, ["metric", "value"], rows, floatfmt="{:.2f}")
+
+
 #: tables collected during a benchmark session; pytest's capture swallows
 #: per-test stdout of passing tests, so the benchmarks' conftest flushes
 #: this registry in ``pytest_terminal_summary`` — that is how every table
@@ -102,6 +133,7 @@ __all__ = [
     "format_table",
     "paper_vs_measured",
     "ingest_phase_table",
+    "crash_sweep_table",
     "emit",
     "flush_reports",
 ]

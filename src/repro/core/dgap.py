@@ -30,6 +30,7 @@ import numpy as np
 from ..config import DGAPConfig
 from ..errors import GraphError, OutOfPMemError, VertexRangeError
 from ..pmem.crash import CrashInjector
+from ..pmem.faults import FaultPolicy
 from ..pmem.pool import PMemPool
 from ..pmem.tx import TransactionManager
 from .batch import DEFAULT_BATCH_SIZE, EdgeBatch, EdgeLike
@@ -72,6 +73,7 @@ class DGAP:
         config: Optional[DGAPConfig] = None,
         pool: Optional[PMemPool] = None,
         injector: Optional[CrashInjector] = None,
+        faults: Optional["FaultPolicy"] = None,
     ):
         self.config = config or DGAPConfig()
         cfg = self.config
@@ -82,6 +84,7 @@ class DGAP:
                 profile=cfg.profile,
                 name="dgap",
                 injector=injector,
+                faults=faults,
             )
         self.pool = pool
         self._bounds = DensityBounds(cfg.tau_leaf, cfg.tau_root, cfg.rho_leaf, cfg.rho_root)

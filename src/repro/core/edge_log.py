@@ -8,17 +8,28 @@ back into the array in batch during the next rebalance, eliminating the
 write amplification of Fig. 1(a).
 
 Entry layout (12 bytes, matching the paper): ``(src, dst_enc, back)``
-as three int32s.
+as three int32s.  Every field of a *written* entry is biased to be
+nonzero, so a valid entry is exactly one whose three fields are all
+nonzero — and any 8-byte-aligned subset of a torn entry (the
+failure-atomic unit is 8 B; a 12 B entry spans two chunks, and its
+fields alternate chunk pairing with entry parity) leaves at least one
+field zero in the freshly-zeroed log slot, making torn entries
+self-invalidating without a checksum:
 
-* ``src`` — source vertex id;
-* ``dst_enc`` — the destination encoded as in the edge array
-  (``dst+1``, optionally ``| TOMB_BIT``); 0 marks an invalid/empty
-  entry, which is how recovery finds the append frontier without a
-  persistent per-log counter (counters would be in-place PM updates —
-  exactly what DGAP avoids);
-* ``back`` — 1 + global index of the *previous* entry of the same
-  source vertex (0 = none), forming the newest-first back-pointer chain
-  whose head lives in the DRAM vertex array (``el_v``).
+* field 0 — source vertex id **plus one** (so vertex 0 is
+  distinguishable from an unwritten slot);
+* field 1 — the destination encoded as in the edge array
+  (``dst+1``, optionally ``| TOMB_BIT``, always nonzero); merges zero
+  this field to invalidate an entry in place;
+* field 2 — global index of the *previous* entry of the same source
+  vertex **plus two** (1 = no predecessor), forming the newest-first
+  back-pointer chain whose head lives in the DRAM vertex array
+  (``el_v``).
+
+Recovery finds the append frontier as one past the last entry with any
+nonzero field — no persistent per-log counter (counters would be
+in-place PM updates, exactly what DGAP avoids).  ``read_entry`` /
+``walk_chain`` undo the biases, so readers see plain ids.
 """
 
 from __future__ import annotations
@@ -90,7 +101,7 @@ class EdgeLogs:
         slot = int(self.counts[section])
         if slot >= self.entries_per_section:
             raise PMemError(f"edge log of section {section} is full")
-        entry = np.array([src, dst_enc, back_gidx + 1], dtype=np.int32)
+        entry = np.array([src + 1, dst_enc, back_gidx + 2], dtype=np.int32)
         pos = self._base(section) + slot * _FIELDS
         # One small persistent write — sequential within the section's log.
         self.region.write_slice(pos, entry, payload=4, persist=True)
@@ -115,9 +126,9 @@ class EdgeLogs:
         if slot + k > self.entries_per_section:
             raise PMemError(f"edge log of section {section} cannot take {k} entries")
         entries = np.empty((k, _FIELDS), dtype=np.int32)
-        entries[:, 0] = srcs
+        entries[:, 0] = np.asarray(srcs, dtype=np.int64) + 1
         entries[:, 1] = dst_encs
-        entries[:, 2] = np.asarray(back_gidxs, dtype=np.int64) + 1
+        entries[:, 2] = np.asarray(back_gidxs, dtype=np.int64) + 2
         pos0 = self._base(section) + slot * _FIELDS
         idxs = pos0 + np.arange(k, dtype=np.int64) * _FIELDS
         self.region.write_batch(idxs, entries, payload_per_unit=4)
@@ -155,9 +166,9 @@ class EdgeLogs:
         local = np.arange(k, dtype=np.int64) - np.repeat(ends - takes, takes)
         gidxs = np.repeat(sections * self.entries_per_section + base, takes) + local
         entries = np.empty((k, _FIELDS), dtype=np.int32)
-        entries[:, 0] = srcs
+        entries[:, 0] = np.asarray(srcs, dtype=np.int64) + 1
         entries[:, 1] = dst_encs
-        entries[:, 2] = np.asarray(back_gidxs, dtype=np.int64) + 1
+        entries[:, 2] = np.asarray(back_gidxs, dtype=np.int64) + 2
         self.region.write_batch(gidxs * _FIELDS, entries, payload_per_unit=4)
         self.counts[sections] = base + takes
         self.live_counts[sections] += takes
@@ -188,9 +199,9 @@ class EdgeLogs:
         if (new_counts > self.entries_per_section).any():
             raise PMemError("edge-log scatter append overflows a section")
         entries = np.empty((k, _FIELDS), dtype=np.int32)
-        entries[:, 0] = srcs
+        entries[:, 0] = np.asarray(srcs, dtype=np.int64) + 1
         entries[:, 1] = dst_encs
-        entries[:, 2] = np.asarray(back_gidxs, dtype=np.int64) + 1
+        entries[:, 2] = np.asarray(back_gidxs, dtype=np.int64) + 2
         self.region.write_batch(gidxs * _FIELDS, entries, payload_per_unit=4)
         self.counts[secs] = new_counts
         self.live_counts[secs] += cnts
@@ -231,7 +242,7 @@ class EdgeLogs:
         section, slot = self.locate(gidx)
         pos = self._base(section) + slot * _FIELDS
         e = self.region.view[pos : pos + _FIELDS]
-        return int(e[0]), int(e[1]), int(e[2]) - 1
+        return int(e[0]) - 1, int(e[1]), int(e[2]) - 2
 
     def section_entries(self, section: int) -> np.ndarray:
         """(count, 3) view of a section's appended entries (some may be invalidated)."""
@@ -256,18 +267,23 @@ class EdgeLogs:
     def rebuild_counts(self) -> None:
         """Recompute append cursors from persistent bytes (crash recovery).
 
-        The cursor is one past the last non-empty entry: merges
-        invalidate interior entries but never the append frontier.
+        The cursor is one past the last *non-empty* entry — one with any
+        nonzero field: merges invalidate interior entries (zeroing only
+        ``dst_enc``) but never the append frontier, and a torn in-flight
+        append may persist any field subset.  Either way the slot is
+        spent; new appends go past it and fully overwrite nothing live.
+        Only entries with all three fields nonzero are *valid* (counted
+        live and replayed) — a torn partial entry can never be.
         """
         view = self.region.view.reshape(self.n_sections, self.entries_per_section, _FIELDS)
-        dst = view[:, :, 1]
-        nonzero = dst != 0
-        # highest nonzero index + 1 per section (0 when empty)
-        rev = nonzero[:, ::-1]
+        nonempty = (view != 0).any(axis=2)
+        valid = (view != 0).all(axis=2)
+        # highest non-empty index + 1 per section (0 when empty)
+        rev = nonempty[:, ::-1]
         first = rev.argmax(axis=1)
-        any_valid = nonzero.any(axis=1)
-        self.counts = np.where(any_valid, self.entries_per_section - first, 0).astype(np.int64)
-        self.live_counts = nonzero.sum(axis=1).astype(np.int64)
+        any_used = nonempty.any(axis=1)
+        self.counts = np.where(any_used, self.entries_per_section - first, 0).astype(np.int64)
+        self.live_counts = valid.sum(axis=1).astype(np.int64)
         self.pool.device.account_seq_read(self.region.nbytes, bucket="recovery")
 
 

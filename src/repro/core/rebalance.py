@@ -17,7 +17,7 @@ layout over the window under crash protection:
   crash *redoes* the idempotent copy from scratch.  This deviates from
   the paper's description (which chunk-backs-up destinations but does
   not explain how interrupted multi-chunk permutations are replayed —
-  see DESIGN.md §6); it preserves the cost profile (bulk sequential
+  see DESIGN.md §8); it preserves the cost profile (bulk sequential
   writes, no PMDK journal allocations, O(1) ordering points) while
   making every crash point provably recoverable, which the crash-sweep
   tests verify exhaustively.
@@ -328,7 +328,7 @@ class Rebalancer:
                 bad = [
                     logs.gidx(s, k)
                     for k in range(entries.shape[0])
-                    if entries[k, 1] != 0 and int(entries[k, 0]) in merged
+                    if entries[k, 1] != 0 and int(entries[k, 0]) - 1 in merged
                 ]
                 if bad:
                     logs.invalidate_entries(bad)

@@ -127,6 +127,10 @@ def crash_recover(host) -> None:
     """Full crash recovery: scan, replay, complete in-flight rebalances."""
     pool = host.pool
 
+    # (0) uncorrectable media damage: repair what is reconstructible,
+    # refuse (with the damaged region named) what is not.
+    _scrub_poison(host)
+
     # (1) interrupted PMDK transaction (No EL&UL ablation)
     if host.tx_mgr is not None:
         host.tx_mgr.recover()
@@ -156,6 +160,62 @@ def crash_recover(host) -> None:
     host.ea.recount_all()
     for lo, hi in reissue:
         _reissue_window(host, lo, hi)
+
+
+def _scrub_poison(host) -> None:
+    """Handle poisoned (uncorrectable) media lines before recovery reads.
+
+    A region whose content recovery never consumes can be *repaired* by
+    rewriting it (a media rewrite clears DCPMM poison): undo-log
+    payloads with no valid backup, rebalance scratch not being copied
+    back, dead (pre-resize) edge-array/log generations, and the
+    shutdown metadata arrays (ignored on the crash path, regenerated at
+    the next shutdown).  Damage to anything recovery must read — the
+    live edge array or logs, undo-log headers, an ACTIVE backup payload,
+    a COPYBACK scratch source — is unrecoverable data loss and raises
+    :class:`RecoveryError` naming the region.
+    """
+    from .undo_log import STATE_ACTIVE, STATE_COPYBACK
+
+    pool = host.pool
+    dev = pool.device
+    ranges = dev.poisoned_ranges()
+    if not ranges:
+        return
+    gen = host.ea.gen
+    headers = {ul.thread_id: ul.read_header() for ul in host.ulogs}
+    copyback_srcs = [
+        (h.dst_off, h.dst_off + h.length)
+        for h in headers.values()
+        if h.state == STATE_COPYBACK
+    ]
+
+    def repairable(name: str, off: int, n: int) -> bool:
+        if name.startswith("ulog.pay.t"):
+            h = headers.get(int(name.rsplit("t", 1)[1]))
+            # The payload is only consumed by an ACTIVE restore with a
+            # committed (valid) backup.
+            return h is None or h.state != STATE_ACTIVE or h.valid == 0
+        if name.startswith("rebal.scratch."):
+            return not any(a < off + n and off < b for a, b in copyback_srcs)
+        if name.startswith("meta."):
+            return True
+        if name.startswith(("edges.g", "elogs.g")):
+            return int(name.rsplit("g", 1)[1]) != gen  # dead generation
+        return False
+
+    for off, n in ranges:
+        hit = pool.region_of(off)
+        if hit is None or not repairable(hit[0], off, n):
+            where = hit[0] if hit else "pool metadata"
+            raise RecoveryError(
+                f"uncorrectable media error in {where!r} at offset {off} "
+                f"({n} bytes): persistent image is damaged beyond repair"
+            )
+        # Rewriting the lines clears the poison; the content is dead, so
+        # zeros are as good as anything.
+        dev.ntstore(off, np.zeros(n, dtype=np.uint8), payload=0)
+    dev.sfence()
 
 
 def _scan_edge_array(host) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -188,12 +248,16 @@ def _replay_logs(host, nv: int, degree: np.ndarray, live: np.ndarray, el: np.nda
     view = logs.region.view.reshape(logs.n_sections, logs.entries_per_section, 3)
     srcs = view[:, :, 0].ravel()
     dsts = view[:, :, 1].ravel()
-    valid = dsts != 0
+    backs = view[:, :, 2].ravel()
+    # Valid = all three biased fields nonzero: an in-flight append torn
+    # by the crash (8-byte atomicity) persists a strict chunk subset and
+    # always leaves a zero field, so it self-invalidates here.
+    valid = (srcs != 0) & (dsts != 0) & (backs != 0)
     n_entries = int(valid.sum())
     if n_entries == 0:
         return
     gidx = np.flatnonzero(valid)
-    s = srcs[valid].astype(np.int64)
+    s = srcs[valid].astype(np.int64) - 1
     d = dsts[valid]
     if s.size and (s.max() >= nv or s.min() < 0):
         raise RecoveryError("edge-log entry references unknown vertex")

@@ -30,19 +30,61 @@ class TransactionError(PMemError):
     """Misuse of the PMDK-style transaction API (e.g. write outside tx)."""
 
 
+class MediaError(PMemError):
+    """An uncorrectable media error (poisoned XPLine) was read.
+
+    Models DCPMM's EUNCORR/poison semantics: once a media block is
+    damaged, loads from it fault until the block is rewritten.  Raised
+    by :meth:`~repro.pmem.device.PMemDevice.read` when the range covers
+    a poisoned line; carries the offending byte range so recovery can
+    map it to a pool region.
+    """
+
+    def __init__(self, message: str, *, off: int = -1, length: int = 0):
+        super().__init__(message)
+        self.off = off
+        self.length = length
+
+
 class SimulatedCrash(ReproError):
     """Raised by the crash injector to emulate a power failure.
 
     When raised, the owning :class:`~repro.pmem.device.PMemDevice` has
     already reverted every cache line that was not yet flushed to media
-    (ADR semantics), exactly as a real power loss would.  Catch it, then
-    reopen the structures via their recovery entry points.
+    (ADR semantics, possibly torn/reordered under a fault policy),
+    exactly as a real power loss would.  Catch it, then reopen the
+    structures via their recovery entry points.
+
+    ``op``/``op_index`` name the per-kind persistence event the crash
+    fired on; ``total_index`` is the index into the device's combined
+    event stream (stores + flushes + fences + ntstores), which is the
+    canonical coordinate a crash sweep re-arms with.
     """
 
-    def __init__(self, message: str = "simulated power failure", *, op: str = "?", op_index: int = -1):
-        super().__init__(f"{message} (at {op} #{op_index})")
+    def __init__(
+        self,
+        message: str = "simulated power failure",
+        *,
+        op: str = "?",
+        op_index: int = -1,
+        total_index: int = -1,
+    ):
+        super().__init__(message)
         self.op = op
         self.op_index = op_index
+        self.total_index = total_index
+
+    def __str__(self) -> str:
+        return (
+            f"{self.args[0]} (at {self.op} #{self.op_index}, "
+            f"total event #{self.total_index})"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulatedCrash(op={self.op!r}, op_index={self.op_index}, "
+            f"total_index={self.total_index})"
+        )
 
 
 class GraphError(ReproError):

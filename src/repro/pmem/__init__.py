@@ -8,9 +8,16 @@ undo-log transactions.
 """
 
 from .alloc import BumpAllocator, FreeListAllocator, Region
-from .constants import ATOMIC_WRITE, CACHE_LINE, GIB, KIB, MIB, XPLINE
+from .constants import ATOMIC_WRITE, CACHE_LINE, CHUNKS_PER_LINE, GIB, KIB, MIB, XPLINE
 from .crash import CrashInjector, CrashPlan, iter_crash_points
 from .device import PMemDevice
+from .faults import (
+    ADVERSARIAL,
+    DEFAULT_POLICY,
+    PERSIST_REORDER,
+    TORN_STORES,
+    FaultPolicy,
+)
 from .latency import DRAM, OPTANE_ADR, OPTANE_EADR, LatencyModel, get_profile
 from .pool import PMemPool
 from .stats import PMemStats
@@ -19,6 +26,7 @@ from .tx import Transaction, TransactionManager
 __all__ = [
     "ATOMIC_WRITE",
     "CACHE_LINE",
+    "CHUNKS_PER_LINE",
     "XPLINE",
     "KIB",
     "MIB",
@@ -29,6 +37,11 @@ __all__ = [
     "CrashInjector",
     "CrashPlan",
     "iter_crash_points",
+    "FaultPolicy",
+    "DEFAULT_POLICY",
+    "TORN_STORES",
+    "PERSIST_REORDER",
+    "ADVERSARIAL",
     "PMemDevice",
     "PMemPool",
     "PMemStats",

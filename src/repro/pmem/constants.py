@@ -26,6 +26,9 @@ ATOMIC_WRITE: int = 8
 
 LINES_PER_XPLINE: int = XPLINE // CACHE_LINE
 
+CHUNKS_PER_LINE: int = CACHE_LINE // ATOMIC_WRITE
+"""Failure-atomic 8-byte chunks per cache line (torn-store granularity)."""
+
 KIB: int = 1024
 MIB: int = 1024 * 1024
 GIB: int = 1024 * 1024 * 1024

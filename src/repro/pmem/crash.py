@@ -15,7 +15,7 @@ which is the strongest form of the paper's §3.1.4/§3.1.5 claims.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import Iterator, Optional
 
 from ..errors import SimulatedCrash
@@ -42,10 +42,17 @@ class CrashPlan:
 
 
 class CrashInjector:
-    """Counts persistence events and raises at the planned point."""
+    """Counts persistence events and raises at the planned point.
+
+    The injector never mutates a caller-supplied :class:`CrashPlan`:
+    plans are copied on arming and the remaining-events countdown lives
+    in the injector, so one plan object can be reused across injectors
+    and sweep iterations.
+    """
 
     def __init__(self, plan: Optional[CrashPlan] = None):
-        self.plan = plan
+        self.plan = replace(plan) if plan is not None else None
+        self._remaining = plan.countdown if plan is not None else 0
         self.counts = dict.fromkeys(EVENTS, 0)
         self.fired = False
 
@@ -53,14 +60,27 @@ class CrashInjector:
     def arm(self, countdown: int, event: Optional[str] = None) -> None:
         """(Re)arm: crash at the ``countdown``-th upcoming matching event."""
         self.plan = CrashPlan(countdown, event)
+        self._remaining = countdown
         self.fired = False
 
     def disarm(self) -> None:
         self.plan = None
+        self._remaining = 0
+
+    @property
+    def remaining(self) -> int:
+        """Matching events left before the planned crash (0 when unarmed)."""
+        return self._remaining if self.plan is not None and not self.fired else 0
 
     @property
     def total_events(self) -> int:
         return sum(self.counts.values())
+
+    def _fire(self, event: str) -> None:
+        self.fired = True
+        raise SimulatedCrash(
+            op=event, op_index=self.counts[event], total_index=self.total_events
+        )
 
     # -- hook called by the device --------------------------------------
     def tick(self, event: str) -> None:
@@ -70,10 +90,9 @@ class CrashInjector:
             return
         if self.plan.event is not None and self.plan.event != event:
             return
-        self.plan.countdown -= 1
-        if self.plan.countdown == 0:
-            self.fired = True
-            raise SimulatedCrash(op=event, op_index=self.counts[event])
+        self._remaining -= 1
+        if self._remaining == 0:
+            self._fire(event)
 
     def tick_many(self, event: str, n: int) -> None:
         """Observe ``n`` back-to-back events of one kind in O(1).
@@ -93,16 +112,15 @@ class CrashInjector:
         ):
             self.counts[event] += n
             return
-        if self.plan.countdown > n:
-            self.plan.countdown -= n
+        if self._remaining > n:
+            self._remaining -= n
             self.counts[event] += n
             return
         # The planned event sits inside this run; events past it never
         # happen (the crash propagates), so only count up to it.
-        self.counts[event] += self.plan.countdown
-        self.plan.countdown = 0
-        self.fired = True
-        raise SimulatedCrash(op=event, op_index=self.counts[event])
+        self.counts[event] += self._remaining
+        self._remaining = 0
+        self._fire(event)
 
 
 def iter_crash_points(start: int = 1, stop: Optional[int] = None, step: int = 1) -> Iterator[int]:

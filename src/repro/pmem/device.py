@@ -36,9 +36,10 @@ from typing import Optional, Union
 
 import numpy as np
 
-from ..errors import PMemError, SimulatedCrash
-from .constants import CACHE_LINE, XPLINE
+from ..errors import MediaError, PMemError, SimulatedCrash
+from .constants import CACHE_LINE, CHUNKS_PER_LINE, LINES_PER_XPLINE, XPLINE
 from .crash import CrashInjector
+from .faults import DEFAULT_POLICY, FaultPolicy
 from .latency import LatencyModel, OPTANE_ADR
 from .stats import PMemStats
 
@@ -64,6 +65,7 @@ class PMemDevice:
         profile: LatencyModel = OPTANE_ADR,
         name: str = "pmem0",
         injector: Optional[CrashInjector] = None,
+        faults: Optional[FaultPolicy] = None,
     ):
         if size <= 0:
             raise ValueError("device size must be positive")
@@ -73,11 +75,32 @@ class PMemDevice:
         self.name = name
         self.profile = profile
         self.injector = injector or CrashInjector()
+        self.faults = faults or DEFAULT_POLICY
         self.stats = PMemStats()
 
         self.buf = np.zeros(size, dtype=np.uint8)
         self.media = np.zeros(size, dtype=np.uint8)
         self._dirty: set[int] = set()
+
+        # Persist-reorder state: line -> content captured at flush time,
+        # written to media only at the next fence (or probabilistically
+        # at a crash).  Populated only when the fault policy enables
+        # persist_reorder on an ADR-style (non-volatile, non-eADR)
+        # profile; otherwise flushes hit media immediately as before.
+        self._reorder = (
+            self.faults.persist_reorder
+            and not profile.volatile
+            and not profile.persistent_caches
+        )
+        self._pending: dict[int, bytes] = {}
+
+        # Poisoned (uncorrectable) media lines; reads fault until the
+        # line is rewritten on media.  Tracked per cache line, planted
+        # per XPLine (the DCPMM ECC granularity).
+        self._poisoned: set[int] = set()
+
+        #: how many crashes this device has suffered (fault-rng stream id)
+        self.crash_ordinal = 0
 
         # Flush-stream classification state.
         self._last_flush_line = -(10**9)
@@ -189,6 +212,19 @@ class PMemDevice:
         first, last = off // CACHE_LINE, (off + n - 1) // CACHE_LINE
         if self._dirty:
             self._dirty.difference_update(range(first, last + 1))
+        if self._pending:
+            # A newer media write supersedes flush-time snapshots.
+            for line in range(first, last + 1):
+                if line in self._pending:
+                    a = line * CACHE_LINE
+                    self._pending[line] = bytes(self.buf[a : a + CACHE_LINE])
+        if self._poisoned:
+            # Rewriting media repairs poison — but only for lines whose
+            # full 64 bytes were rewritten (the ECC block is whole again).
+            full_first = (off + CACHE_LINE - 1) // CACHE_LINE
+            full_last = (off + n) // CACHE_LINE - 1
+            if full_last >= full_first:
+                self._poisoned.difference_update(range(full_first, full_last + 1))
 
         st = self.stats
         st.ntstores += 1
@@ -202,8 +238,27 @@ class PMemDevice:
     # reads
     # ------------------------------------------------------------------
     def read(self, off: int, n: int) -> np.ndarray:
-        """Read-only view of current contents (no cost accounted — see module docs)."""
+        """Read-only view of current contents (no cost accounted — see module docs).
+
+        Raises :class:`~repro.errors.MediaError` when the range covers a
+        poisoned line (uncorrectable media error, see :meth:`poison`).
+        Note that cached ``Region.view`` objects bypass this check — the
+        poison model is enforced at explicit device reads and by the
+        recovery scrub (DESIGN.md §6).
+        """
         self._check_range(off, n)
+        if self._poisoned and n > 0:
+            first, last = off // CACHE_LINE, (off + n - 1) // CACHE_LINE
+            for line in range(first, last + 1):
+                if line in self._poisoned:
+                    self.stats.media_errors += 1
+                    a = line * CACHE_LINE
+                    raise MediaError(
+                        f"uncorrectable media error reading [{off}, {off + n}): "
+                        f"poisoned line at offset {a}",
+                        off=a,
+                        length=CACHE_LINE,
+                    )
         view = self.buf[off : off + n]
         view.flags.writeable = False
         return view
@@ -287,7 +342,15 @@ class PMemDevice:
         dirty = line in self._dirty
         if dirty:
             a = line * CACHE_LINE
-            self.media[a : a + CACHE_LINE] = self.buf[a : a + CACHE_LINE]
+            if self._reorder:
+                # Write-back is initiated but unordered until the next
+                # fence: capture the flush-time content instead of
+                # touching media (accounting is unchanged — costs are
+                # charged when the flush issues, as before).
+                self._pending[line] = bytes(self.buf[a : a + CACHE_LINE])
+            else:
+                self.media[a : a + CACHE_LINE] = self.buf[a : a + CACHE_LINE]
+                self._poisoned.discard(line)
             self._dirty.discard(line)
             st.flushed_lines += 1
             st.flushed_bytes += CACHE_LINE
@@ -332,7 +395,14 @@ class PMemDevice:
             ln for ln in span if ln in self._dirty
         }
         ndirty = len(dirty_in_span)
-        self.media[a:b] = self.buf[a:b]
+        if self._reorder:
+            for ln in dirty_in_span:
+                la = ln * CACHE_LINE
+                self._pending[ln] = bytes(self.buf[la : la + CACHE_LINE])
+        else:
+            self.media[a:b] = self.buf[a:b]
+            if self._poisoned:
+                self._poisoned.difference_update(span)
         self._dirty.difference_update(dirty_in_span)
 
         self._flush_op += len(span)
@@ -346,11 +416,22 @@ class PMemDevice:
         self._last_flush_line = last
         self._last_media_xpline = xp_last
 
+    def _drain_pending(self) -> None:
+        """Commit all flush-time snapshots to media (the fence took effect)."""
+        if not self._pending:
+            return
+        for line, content in self._pending.items():
+            a = line * CACHE_LINE
+            self.media[a : a + CACHE_LINE] = np.frombuffer(content, dtype=np.uint8)
+            self._poisoned.discard(line)
+        self._pending.clear()
+
     def sfence(self) -> None:
         """Order preceding flushes/ntstores; charge the drain cost."""
         self._tick("fence")
         self.stats.fences += 1
         self._charge(self.profile.fence_ns)
+        self._drain_pending()
 
     def persist(self, off: int, n: int = CACHE_LINE) -> None:
         """Convenience ``clwb + sfence`` (PMDK's ``pmem_persist``)."""
@@ -480,8 +561,14 @@ class PMemDevice:
         # last store, so final media content = final cache content.
         lines = np.unique(seq)
         bl = self.buf.reshape(-1, CACHE_LINE)
-        ml = self.media.reshape(-1, CACHE_LINE)
-        ml[lines] = bl[lines]
+        if self._reorder:
+            for ln in lines.tolist():
+                self._pending[ln] = bytes(bl[ln])
+        else:
+            ml = self.media.reshape(-1, CACHE_LINE)
+            ml[lines] = bl[lines]
+            if self._poisoned:
+                self._poisoned.difference_update(lines.tolist())
         self._dirty.difference_update(lines.tolist())
 
         # In-place: the same line was flushed at most `window` flush ops
@@ -553,6 +640,7 @@ class PMemDevice:
         self.injector.tick_many("fence", n)
         self.stats.fences += n
         self._charge(n * self.profile.fence_ns)
+        self._drain_pending()
 
     def persist_batch(
         self, offs: np.ndarray, data: np.ndarray, payload_per_unit: Optional[int] = None
@@ -595,30 +683,148 @@ class PMemDevice:
         if self.profile.volatile:
             return False
         first, last = off // CACHE_LINE, (off + max(n, 1) - 1) // CACHE_LINE
-        return not any(line in self._dirty for line in range(first, last + 1))
+        return not any(
+            line in self._dirty or line in self._pending
+            for line in range(first, last + 1)
+        )
 
     @property
     def dirty_lines(self) -> int:
         return len(self._dirty)
 
     def crash(self) -> None:
-        """Emulate a power failure: lose whatever a real platform would lose."""
+        """Emulate a power failure: lose whatever a real platform would lose.
+
+        Under the default policy every dirty line reverts whole (ADR) or
+        persists whole (eADR).  An active :class:`FaultPolicy` weakens
+        this: dirty lines may persist any 8-byte-chunk subset
+        (``torn_stores``), flushed-but-unfenced lines individually
+        persist or drop (``persist_reorder``), and lines that lost data
+        may poison their covering XPLine (``poison_on_crash``).
+        """
+        self.stats.crashes += 1
+        ordinal = self.crash_ordinal
+        self.crash_ordinal += 1
         if self.profile.volatile:
             self.buf[:] = 0
             self.media[:] = 0
         elif self.profile.persistent_caches:
-            # eADR: caches flush themselves on power fail.
+            # eADR: caches (and any initiated write-backs) are inside the
+            # power-fail domain and flush themselves on power fail.
+            self._drain_pending()
             for line in self._dirty:
                 a = line * CACHE_LINE
                 self.media[a : a + CACHE_LINE] = self.buf[a : a + CACHE_LINE]
+                self._poisoned.discard(line)
         else:
-            for line in self._dirty:
-                a = line * CACHE_LINE
-                self.buf[a : a + CACHE_LINE] = self.media[a : a + CACHE_LINE]
+            self._crash_adr(ordinal)
         self._dirty.clear()
+        self._pending.clear()
         self._recent_flushes.clear()
         self._last_flush_line = -(10**9)
         self._last_media_xpline = -(10**9)
+
+    def _crash_adr(self, ordinal: int) -> None:
+        """ADR power failure, honoring the device's fault policy."""
+        policy = self.faults
+        rng = policy.rng_for_crash(ordinal) if policy.active else None
+        st = self.stats
+        lost: list[int] = []  # lines that lost (some) in-flight data
+
+        # Flushed-but-unfenced lines: all persist under the clean model,
+        # each one individually under persist_reorder.
+        for line, content in self._pending.items():
+            a = line * CACHE_LINE
+            if not self._reorder or rng.integers(0, 2) == 1:
+                self.media[a : a + CACHE_LINE] = np.frombuffer(content, dtype=np.uint8)
+                self._poisoned.discard(line)
+            else:
+                st.dropped_pending_lines += 1
+                lost.append(line)
+
+        # Dirty (never-flushed) lines: whole-line revert, or per-chunk
+        # tearing when the policy allows torn stores.
+        if policy.torn_stores and self._dirty:
+            bufc = self.buf.reshape(-1, CHUNKS_PER_LINE * 8)
+            for line in self._dirty:
+                mask = rng.integers(0, 2, size=CHUNKS_PER_LINE).astype(bool)
+                a = line * CACHE_LINE
+                if mask.all():
+                    self.media[a : a + CACHE_LINE] = bufc[line]
+                    self._poisoned.discard(line)
+                    continue
+                if mask.any():
+                    mb = self.media[a : a + CACHE_LINE].reshape(CHUNKS_PER_LINE, 8)
+                    bb = bufc[line].reshape(CHUNKS_PER_LINE, 8)
+                    mb[mask] = bb[mask]
+                    st.torn_lines += 1
+                lost.append(line)
+        else:
+            lost.extend(self._dirty)
+
+        # The cache hierarchy is gone: the CPU view reverts to media for
+        # every line that did not (fully) persist.
+        for line in lost:
+            a = line * CACHE_LINE
+            self.buf[a : a + CACHE_LINE] = self.media[a : a + CACHE_LINE]
+
+        # Interrupted media writes may leave uncorrectable XPLines.
+        if policy.poison_on_crash > 0.0:
+            for line in lost:
+                if rng.random() < policy.poison_on_crash:
+                    self.poison(line * CACHE_LINE, CACHE_LINE)
+
+    # ------------------------------------------------------------------
+    # media poison (uncorrectable errors)
+    # ------------------------------------------------------------------
+    def poison(self, off: int, n: int = 1) -> None:
+        """Mark the XPLine(s) covering ``[off, off+n)`` as uncorrectable.
+
+        Models DCPMM EUNCORR: subsequent :meth:`read` calls covering a
+        poisoned line raise :class:`~repro.errors.MediaError` until the
+        line is rewritten on media (flush of a dirty line, ntstore, or a
+        drained pending write-back).
+        """
+        self._check_range(off, max(n, 1))
+        xp_first = off // XPLINE
+        xp_last = (off + max(n, 1) - 1) // XPLINE
+        for xp in range(xp_first, xp_last + 1):
+            base = xp * LINES_PER_XPLINE
+            new = set(range(base, base + LINES_PER_XPLINE)) - self._poisoned
+            if new:
+                self.stats.poisoned_xplines += 1
+                self._poisoned.update(new)
+
+    def clear_poison(self, off: Optional[int] = None, n: int = 1) -> None:
+        """Clear poison for a range (or everywhere when ``off`` is None)."""
+        if off is None:
+            self._poisoned.clear()
+            return
+        first, last = off // CACHE_LINE, (off + max(n, 1) - 1) // CACHE_LINE
+        self._poisoned.difference_update(range(first, last + 1))
+
+    def check_poison(self, off: int, n: int = 1) -> bool:
+        """True when any line covering ``[off, off+n)`` is poisoned."""
+        if not self._poisoned:
+            return False
+        first, last = off // CACHE_LINE, (off + max(n, 1) - 1) // CACHE_LINE
+        return any(line in self._poisoned for line in range(first, last + 1))
+
+    def poisoned_ranges(self) -> list:
+        """Sorted ``(offset, nbytes)`` byte ranges of poisoned lines, merged."""
+        if not self._poisoned:
+            return []
+        out = []
+        start = prev = None
+        for line in sorted(self._poisoned):
+            if prev is not None and line == prev + 1:
+                prev = line
+                continue
+            if start is not None:
+                out.append((start * CACHE_LINE, (prev - start + 1) * CACHE_LINE))
+            start = prev = line
+        out.append((start * CACHE_LINE, (prev - start + 1) * CACHE_LINE))
+        return out
 
     def drain_all(self) -> None:
         """Flush every dirty line (used by graceful shutdown paths)."""

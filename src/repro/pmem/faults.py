@@ -1,0 +1,92 @@
+"""Fault-injection policies for the simulated device.
+
+The default crash model in :class:`~repro.pmem.device.PMemDevice` is the
+*clean* ADR model: on power failure every cache line either fully
+reached the media (it was flushed) or fully reverts (it was dirty).
+Real DCPMM platforms are weaker in three documented ways, each modeled
+here behind an opt-in :class:`FaultPolicy`:
+
+* **torn stores** — the failure-atomic unit is 8 bytes
+  (``constants.ATOMIC_WRITE``), not a cache line.  Under
+  ``torn_stores=True`` a crash persists, for every still-dirty line, an
+  arbitrary subset of its 8-byte-aligned chunks (including the empty
+  subset = clean revert and the full subset = complete persist).  Any
+  multi-chunk object that was in flight can therefore land partially.
+* **persist reorder** — ``clwb``/``clflushopt`` only *initiate* a
+  write-back; nothing is ordered until the next ``sfence``.  Under
+  ``persist_reorder=True`` flushed-but-unfenced lines are held in a
+  pending set, and a crash persists a random subset of them instead of
+  all of them.  The content persisted per line is the content at flush
+  time (a later un-flushed store to the same line does not ride along).
+* **poison** — an interrupted media write can leave an uncorrectable
+  (EUNCORR) XPLine.  ``poison_on_crash`` gives the per-lost-line
+  probability that the covering XPLine is poisoned by the crash; a
+  poisoned line raises :class:`~repro.errors.MediaError` on
+  :meth:`~repro.pmem.device.PMemDevice.read` until it is rewritten.
+  Poison can also be planted explicitly via ``device.poison``.
+
+All randomness derives from ``seed`` and the device's crash ordinal, so
+a sweep that replays the same workload with the same policy is fully
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Opt-in crash fault model for one device; default is all-off."""
+
+    torn_stores: bool = False
+    """Dirty lines persist per 8-byte chunk instead of reverting whole."""
+
+    persist_reorder: bool = False
+    """Flushed-but-unfenced lines individually persist or not at crash."""
+
+    poison_on_crash: float = 0.0
+    """Probability that a line losing data at crash poisons its XPLine."""
+
+    seed: int = 0
+    """Base seed; combined with the crash ordinal per crash event."""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.poison_on_crash <= 1.0:
+            raise ValueError("poison_on_crash must be a probability in [0, 1]")
+
+    @property
+    def active(self) -> bool:
+        """True when any fault mode deviates from the clean ADR model."""
+        return self.torn_stores or self.persist_reorder or self.poison_on_crash > 0.0
+
+    def rng_for_crash(self, ordinal: int) -> np.random.Generator:
+        """Deterministic per-crash generator (``ordinal`` = 0, 1, ...)."""
+        return np.random.default_rng((self.seed, ordinal))
+
+    def with_seed(self, seed: int) -> "FaultPolicy":
+        return replace(self, seed=seed)
+
+
+#: The clean ADR model (whole-line all-or-nothing) — the default.
+DEFAULT_POLICY = FaultPolicy()
+
+#: Torn-store model: in-flight lines persist per 8-byte chunk.
+TORN_STORES = FaultPolicy(torn_stores=True)
+
+#: Persist-reorder model: unfenced flushes individually persist or not.
+PERSIST_REORDER = FaultPolicy(persist_reorder=True)
+
+#: Everything at once (torn + reorder) — the adversarial sweep policy.
+ADVERSARIAL = FaultPolicy(torn_stores=True, persist_reorder=True)
+
+
+__all__ = [
+    "FaultPolicy",
+    "DEFAULT_POLICY",
+    "TORN_STORES",
+    "PERSIST_REORDER",
+    "ADVERSARIAL",
+]

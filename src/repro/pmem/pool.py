@@ -28,6 +28,7 @@ from .alloc import BumpAllocator, Region
 from .constants import CACHE_LINE
 from .crash import CrashInjector
 from .device import PMemDevice
+from .faults import FaultPolicy
 from .latency import LatencyModel, OPTANE_ADR
 
 _MAGIC = 0x44474150  # "DGAP"
@@ -47,8 +48,11 @@ class PMemPool:
         name: str = "pool",
         injector: Optional[CrashInjector] = None,
         device: Optional[PMemDevice] = None,
+        faults: Optional[FaultPolicy] = None,
     ):
-        self.device = device or PMemDevice(size, profile=profile, name=name, injector=injector)
+        self.device = device or PMemDevice(
+            size, profile=profile, name=name, injector=injector, faults=faults
+        )
         self.name = name
         self._directory: Dict[str, Tuple[int, np.dtype, int]] = {}
 
@@ -118,6 +122,19 @@ class PMemPool:
         if new in self._directory:
             raise PoolLayoutError(f"root {new!r} already exists")
         self._directory[new] = self._directory.pop(old)
+
+    def region_of(self, off: int) -> Optional[Tuple[str, int, int]]:
+        """Name the allocated region containing byte ``off``.
+
+        Returns ``(name, start, end)`` from the pool directory, or None
+        for unallocated/metadata space.  Used by crash recovery to map a
+        poisoned media range to the structure it damages.
+        """
+        for name, (start, dt, count) in self._directory.items():
+            end = start + dt.itemsize * count
+            if start <= off < end:
+                return name, start, end
+        return None
 
     # -- failure ------------------------------------------------------------
     def crash(self) -> None:

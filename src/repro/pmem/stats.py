@@ -48,6 +48,13 @@ class PMemStats:
     seq_read_bytes: int = 0
     rnd_reads: int = 0
 
+    # -- crash / fault injection -------------------------------------------
+    crashes: int = 0
+    torn_lines: int = 0
+    dropped_pending_lines: int = 0
+    poisoned_xplines: int = 0
+    media_errors: int = 0
+
     # -- modeled time ------------------------------------------------------
     modeled_ns: float = 0.0
 

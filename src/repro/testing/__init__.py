@@ -1,0 +1,25 @@
+"""Reusable verification harnesses (crash sweeps, recovery oracles).
+
+Not imported by the library's runtime paths — this package backs the
+test suite and the ``--crash-sweep`` bench mode.
+"""
+
+from .crashsweep import (
+    CrashPointResult,
+    SweepConfig,
+    SweepFailure,
+    SweepReport,
+    crash_sweep,
+    make_insert_workload,
+    verify_recovered_graph,
+)
+
+__all__ = [
+    "CrashPointResult",
+    "SweepConfig",
+    "SweepFailure",
+    "SweepReport",
+    "crash_sweep",
+    "make_insert_workload",
+    "verify_recovered_graph",
+]

@@ -1,0 +1,426 @@
+"""Exhaustive crash-sweep driver with a recovery oracle (paper §3.1.4/§4.4).
+
+DGAP's claim is crash consistency at *every* instruction boundary, so
+this driver tests every boundary: a dry run counts the workload's
+persistence events (stores, flushes, fences, ntstores), then for each
+crash point ``k`` the workload is replayed from scratch with the
+injector armed at the ``k``-th event, the device power-fails there
+(honoring the configured :class:`~repro.pmem.faults.FaultPolicy` —
+torn stores, persist reorder, poison), the pool is reopened through
+:func:`~repro.core.recovery.open_from_pool`, and the recovered graph is
+checked against the **prefix-consistency oracle**:
+
+* every operation acknowledged (returned) before the crash is visible;
+* the single in-flight operation is applied at most once or not at all;
+* no other phantom or duplicate edges exist anywhere;
+* the PMA structural invariants hold (``DGAP.check_invariants``:
+  pivots, runs, degrees, section occupancy);
+* the edge-log cursors match an independent rebuild from the log bytes.
+
+Sweeps are exhaustive below ``exhaustive_threshold`` total events and a
+seeded random sample above it.  For a configurable subsample of crash
+points the driver additionally verifies recovery **idempotence**: it
+crashes *during* recovery (at a seeded event), recovers again, and
+requires the result to equal a reference recovery of the same crashed
+image.
+
+Oracle violations raise :class:`SweepFailure` naming the exact crash
+point (op kind, per-kind index, total index) to re-arm for debugging.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import MediaError, RecoveryError, SimulatedCrash
+from ..pmem.crash import CrashInjector
+from ..pmem.faults import DEFAULT_POLICY, FaultPolicy
+
+#: One workload operation: ("insert" | "delete", src, dst).
+Op = Tuple[str, int, int]
+
+#: Builds a fresh system on a fresh pool wired to the given injector and
+#: fault policy; the driver calls it once per crash point.
+GraphFactory = Callable[[CrashInjector, FaultPolicy], "object"]
+
+
+class SweepFailure(AssertionError):
+    """The recovery oracle rejected the graph recovered at a crash point."""
+
+
+@dataclass
+class SweepConfig:
+    """Knobs for one sweep run."""
+
+    faults: FaultPolicy = DEFAULT_POLICY
+    exhaustive_threshold: int = 1000
+    """Sweep every crash point when the workload has at most this many events."""
+    samples: int = 200
+    """Seeded-random sample size above the exhaustive threshold."""
+    seed: int = 0
+    idempotence_samples: int = 5
+    """Crash points that additionally get a crash-during-recovery check."""
+    recovery_crash_window: int = 64
+    """Crash-during-recovery points are drawn from the first this-many events."""
+    check_invariants: bool = True
+    check_log_cursors: bool = True
+    continue_after_recovery: int = 0
+    """Extra workload ops to apply on the recovered graph (smoke that it's live)."""
+
+
+@dataclass
+class CrashPointResult:
+    """Outcome of one crash point (the oracle passed)."""
+
+    total_index: int
+    """Workload-relative total event index — re-arm the injector with
+    this after construction to reproduce the crash (the embedded
+    ``SimulatedCrash`` repr additionally carries the device-absolute
+    indices, which include construction events)."""
+    op: str
+    op_index: int
+    acked: int
+    in_flight_applied: Optional[bool]
+    recovery_ns: float
+    idempotence_checked: bool = False
+    unrecoverable: bool = False
+    """Recovery *reported* unrepairable media damage instead of repairing.
+
+    Only a legal outcome when the policy poisons lines at crash time;
+    the report carries the refusal message so operators see what died.
+    """
+    detail: str = ""
+
+
+@dataclass
+class SweepReport:
+    """Everything a sweep learned; ``recovery_ns`` feeds the §4.4 report."""
+
+    total_events: int
+    exhaustive: bool
+    policy: FaultPolicy
+    results: List[CrashPointResult] = field(default_factory=list)
+
+    @property
+    def crash_points(self) -> int:
+        return len(self.results)
+
+    def recovery_ns(self) -> np.ndarray:
+        return np.array(
+            [r.recovery_ns for r in self.results if not r.unrecoverable],
+            dtype=np.float64,
+        )
+
+    def recovery_stats(self) -> Dict[str, float]:
+        ns = self.recovery_ns()
+        if ns.size == 0:
+            return {}
+        return {
+            "min_us": float(ns.min()) * 1e-3,
+            "p50_us": float(np.percentile(ns, 50)) * 1e-3,
+            "mean_us": float(ns.mean()) * 1e-3,
+            "p95_us": float(np.percentile(ns, 95)) * 1e-3,
+            "max_us": float(ns.max()) * 1e-3,
+        }
+
+    def in_flight_applied_count(self) -> int:
+        return sum(1 for r in self.results if r.in_flight_applied)
+
+    def unrecoverable_count(self) -> int:
+        return sum(1 for r in self.results if r.unrecoverable)
+
+
+# ----------------------------------------------------------------------
+# workloads and expected state
+# ----------------------------------------------------------------------
+def make_insert_workload(edges: Sequence[Tuple[int, int]]) -> List[Op]:
+    """Wrap an edge list as an insert-only ops list."""
+    return [("insert", int(s), int(d)) for s, d in edges]
+
+
+def _apply_op(g, op: Op) -> None:
+    kind, src, dst = op
+    if kind == "insert":
+        g.insert_edge(src, dst)
+    elif kind == "delete":
+        g.delete_edge(src, dst)
+    else:
+        raise ValueError(f"unknown workload op kind {kind!r}")
+
+
+def _expected_state(ops: Sequence[Op], nv: int) -> Dict[int, List[int]]:
+    """Per-vertex neighbor sequence after applying ``ops`` in order."""
+    state: Dict[int, List[int]] = {v: [] for v in range(nv)}
+    for kind, src, dst in ops:
+        if kind == "insert":
+            state[src].append(dst)
+        else:
+            lst = state[src]
+            for i in range(len(lst) - 1, -1, -1):
+                if lst[i] == dst:
+                    del lst[i]
+                    break
+    return state
+
+
+def _graph_state(g) -> Dict[int, List[int]]:
+    return {v: [int(d) for d in g.out_neighbors(v)] for v in range(g.num_vertices)}
+
+
+def _match(got: List[int], want: List[int], ordered: bool) -> bool:
+    if ordered:
+        return got == want
+    return Counter(got) == Counter(want)
+
+
+# ----------------------------------------------------------------------
+# the oracle
+# ----------------------------------------------------------------------
+def verify_recovered_graph(
+    g,
+    ops: Sequence[Op],
+    acked: int,
+    *,
+    where: str = "?",
+    check_invariants: bool = True,
+    check_log_cursors: bool = True,
+) -> Optional[bool]:
+    """Assert prefix consistency; returns whether the in-flight op landed.
+
+    ``acked`` operations completed before the crash; operation
+    ``ops[acked]`` (if any) was in flight and may be visible exactly
+    once or not at all.  Everything else must match the acked prefix
+    exactly.  Raises :class:`SweepFailure` naming ``where`` otherwise.
+    """
+    nv = g.num_vertices
+    ordered = all(op[0] == "insert" for op in ops)
+    without = _expected_state(ops[:acked], nv)
+    in_flight: Optional[Op] = ops[acked] if acked < len(ops) else None
+    with_op = None
+    if in_flight is not None:
+        with_op = _expected_state(list(ops[: acked + 1]), nv)
+
+    in_flight_applied: Optional[bool] = None
+    for v in range(nv):
+        got = [int(d) for d in g.out_neighbors(v)]
+        want = without[v]
+        if in_flight is not None and in_flight[1] == v:
+            if _match(got, want, ordered):
+                in_flight_applied = False
+            elif _match(got, with_op[v], ordered):
+                in_flight_applied = True
+            else:
+                raise SweepFailure(
+                    f"[{where}] vertex {v}: recovered {got} matches neither the "
+                    f"acked prefix {want} nor prefix+in-flight {with_op[v]}"
+                )
+        elif not _match(got, want, ordered):
+            raise SweepFailure(
+                f"[{where}] vertex {v}: recovered {got} != acked prefix {want} "
+                f"(phantom, duplicate or lost edge)"
+            )
+
+    if check_invariants:
+        try:
+            g.check_invariants()
+        except Exception as exc:
+            raise SweepFailure(f"[{where}] structural invariants violated: {exc}") from exc
+
+    if check_log_cursors:
+        from ..core.edge_log import EdgeLogs
+
+        fresh = EdgeLogs(
+            g.pool, g.logs.n_sections, g.logs.entries_per_section,
+            gen=g.ea.gen, create=False,
+        )
+        fresh.rebuild_counts()
+        if not (
+            np.array_equal(fresh.counts, g.logs.counts)
+            and np.array_equal(fresh.live_counts, g.logs.live_counts)
+        ):
+            raise SweepFailure(
+                f"[{where}] edge-log cursors disagree with an independent "
+                f"rebuild: {g.logs.counts.tolist()} vs {fresh.counts.tolist()}"
+            )
+    return in_flight_applied
+
+
+# ----------------------------------------------------------------------
+# the driver
+# ----------------------------------------------------------------------
+def _count_events(make_graph: GraphFactory, ops: Sequence[Op], cfg: SweepConfig) -> int:
+    """Dry run: persistence events the workload generates (post-construction)."""
+    inj = CrashInjector()
+    g = make_graph(inj, cfg.faults)
+    base = inj.total_events
+    for op in ops:
+        _apply_op(g, op)
+    return inj.total_events - base
+
+
+def _run_workload(g, ops: Sequence[Op]) -> Tuple[int, Optional[SimulatedCrash]]:
+    acked = 0
+    try:
+        for op in ops:
+            _apply_op(g, op)
+            acked += 1
+    except SimulatedCrash as crash:
+        return acked, crash
+    return acked, None
+
+
+def _reference_recovery(g, open_graph) -> Tuple[Dict[int, List[int]], float]:
+    """Recover a deep copy of the crashed pool; its state is the reference."""
+    ref_pool = copy.deepcopy(g.pool)
+    ref_pool.device.injector = CrashInjector()  # never crashes
+    ns0 = ref_pool.stats.modeled_ns
+    ref = open_graph(ref_pool, g.config)
+    return _graph_state(ref), ref_pool.stats.modeled_ns - ns0
+
+
+def crash_sweep(
+    make_graph: GraphFactory,
+    ops: Sequence[Op],
+    config: Optional[SweepConfig] = None,
+) -> SweepReport:
+    """Sweep crash points of ``ops`` over fresh graphs; oracle every recovery.
+
+    ``make_graph(injector, faults)`` must build a fresh system on a
+    fresh pool each call (construction runs with the injector disarmed;
+    only workload events are swept).  Raises :class:`SweepFailure` on
+    the first oracle violation; otherwise returns a
+    :class:`SweepReport`.
+    """
+    cfg = config or SweepConfig()
+    ops = list(ops)
+    rng = np.random.default_rng(cfg.seed)
+
+    total = _count_events(make_graph, ops, cfg)
+    if total <= 0:
+        raise ValueError("workload generates no persistence events")
+
+    exhaustive = total <= cfg.exhaustive_threshold
+    if exhaustive:
+        points = list(range(1, total + 1))
+    else:
+        points = sorted(
+            int(k) + 1
+            for k in rng.choice(total, size=min(cfg.samples, total), replace=False)
+        )
+    n_idem = min(cfg.idempotence_samples, len(points))
+    idem_points = (
+        set(int(p) for p in rng.choice(points, size=n_idem, replace=False))
+        if n_idem
+        else set()
+    )
+
+    report = SweepReport(total_events=total, exhaustive=exhaustive, policy=cfg.faults)
+    for k in points:
+        inj = CrashInjector()
+        g = make_graph(inj, cfg.faults)
+        open_graph = type(g).open
+        inj.arm(k)
+        acked, crash = _run_workload(g, ops)
+        inj.disarm()
+        if crash is None:
+            # Event counts can drift a little between the dry run and an
+            # armed run only if the workload itself is nondeterministic;
+            # a late point then just degenerates to a full-run check.
+            verify_recovered_graph(
+                g, ops, acked, where=f"no-crash@{k}",
+                check_invariants=cfg.check_invariants,
+                check_log_cursors=cfg.check_log_cursors,
+            )
+            continue
+
+        where = repr(crash)
+        pool = g.pool
+        idem = k in idem_points
+        try:
+            if idem:
+                ref_state, rec_ns = _reference_recovery(g, open_graph)
+                # Crash *during* recovery at a seeded event, then recover again.
+                r = int(rng.integers(1, cfg.recovery_crash_window + 1))
+                inj.arm(r)
+                try:
+                    g2 = open_graph(pool, g.config)
+                except SimulatedCrash:
+                    inj.disarm()
+                    g2 = open_graph(pool, g.config)
+                inj.disarm()
+                got = _graph_state(g2)
+                ordered = all(op[0] == "insert" for op in ops)
+                for v, want in ref_state.items():
+                    if not _match(got.get(v, []), want, ordered):
+                        raise SweepFailure(
+                            f"[{where}] recovery is not idempotent: after a crash "
+                            f"during recovery (event #{r}) and a second recovery, "
+                            f"vertex {v} is {got.get(v)} but a clean recovery of "
+                            f"the same image gives {want}"
+                        )
+            else:
+                ns0 = pool.stats.modeled_ns
+                g2 = open_graph(pool, g.config)
+                rec_ns = pool.stats.modeled_ns - ns0
+        except (RecoveryError, MediaError) as exc:
+            inj.disarm()
+            if cfg.faults.poison_on_crash <= 0.0:
+                raise SweepFailure(
+                    f"[{where}] recovery refused a crash image produced with "
+                    f"no media faults configured: {exc}"
+                ) from exc
+            # Poisoned lines landed on state recovery must read: the
+            # contract is to *report* the damaged region, which it did.
+            report.results.append(
+                CrashPointResult(
+                    total_index=k,
+                    op=crash.op,
+                    op_index=crash.op_index,
+                    acked=acked,
+                    in_flight_applied=None,
+                    recovery_ns=0.0,
+                    idempotence_checked=False,
+                    unrecoverable=True,
+                    detail=str(exc),
+                )
+            )
+            continue
+
+        applied = verify_recovered_graph(
+            g2, ops, acked, where=where,
+            check_invariants=cfg.check_invariants,
+            check_log_cursors=cfg.check_log_cursors,
+        )
+        if cfg.continue_after_recovery and acked < len(ops):
+            for op in ops[acked + 1 : acked + 1 + cfg.continue_after_recovery]:
+                _apply_op(g2, op)
+        report.results.append(
+            CrashPointResult(
+                total_index=k,
+                op=crash.op,
+                op_index=crash.op_index,
+                acked=acked,
+                in_flight_applied=applied,
+                recovery_ns=rec_ns,
+                idempotence_checked=idem,
+            )
+        )
+    return report
+
+
+__all__ = [
+    "Op",
+    "GraphFactory",
+    "SweepFailure",
+    "SweepConfig",
+    "CrashPointResult",
+    "SweepReport",
+    "crash_sweep",
+    "make_insert_workload",
+    "verify_recovered_graph",
+]

@@ -1,0 +1,20 @@
+"""Shared test configuration: pinned hypothesis profiles.
+
+The ``ci`` profile (selected with ``HYPOTHESIS_PROFILE=ci``) is fully
+derandomized so CI runs — in particular the crash-sweep smoke job —
+are reproducible run to run; ``dev`` is the default local behavior.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

@@ -299,7 +299,8 @@ class TestTickMany:
         inj = CrashInjector()
         inj.arm(10, "store")
         inj.tick_many("store", 4)
-        assert inj.plan.countdown == 6
+        assert inj.remaining == 6
+        assert inj.plan.countdown == 10  # the plan itself is never mutated
         assert inj.counts["store"] == 4
 
     def test_armed_device_falls_back_to_scalar_loop(self):

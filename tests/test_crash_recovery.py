@@ -1,10 +1,12 @@
 """Crash-consistency and recovery tests (paper §3.1.4–3.1.5).
 
-The central guarantee, verified by exhaustive crash-point sweeps:
-after a power failure at *any* store/flush/fence boundary, recovery
-yields a graph that contains every acknowledged edge, in per-vertex
-insertion order, with at most the single in-flight operation's edge
-extra — across the normal path and every ablation mode.
+The central guarantee, verified by crash-point sweeps: after a power
+failure at *any* store/flush/fence boundary, recovery yields a graph
+that contains every acknowledged edge, in per-vertex insertion order,
+with at most the single in-flight operation's edge extra — across the
+normal path and every ablation mode.  The sweeps run on the shared
+:mod:`repro.testing.crashsweep` driver (see ``test_crash_sweep.py`` for
+the driver's own exhaustive/fault-policy coverage).
 """
 
 import random
@@ -14,45 +16,23 @@ import pytest
 
 from repro import DGAP, DGAPConfig, SimulatedCrash
 from repro.pmem import CrashInjector
+from repro.testing import SweepConfig, crash_sweep, make_insert_workload
 
 BASE = dict(init_vertices=48, init_edges=512, segment_slots=64, elog_size=256)
 
 
-def crash_sweep(cfg, edges, crash_points, max_extra=1):
-    """Run the workload, crash at each point, recover, and verify."""
-    tested = 0
-    for crash_at in crash_points:
-        inj = CrashInjector()
-        g = DGAP(cfg, injector=inj)
-        inj.arm(crash_at)
-        acked = []
-        try:
-            for u, w in edges:
-                g.insert_edge(u, w)
-                acked.append((u, w))
-        except SimulatedCrash:
-            pass
-        else:
-            return tested  # swept past the whole workload
-        inj.disarm()
-        tested += 1
+def make_graph_factory(cfg):
+    return lambda injector, faults: DGAP(cfg, injector=injector, faults=faults)
 
-        g2 = DGAP.open(g.pool, cfg)
-        refd = {}
-        for u, w in acked:
-            refd.setdefault(u, []).append(w)
-        with g2.consistent_view() as snap:
-            for v in range(g2.num_vertices):
-                got = list(snap.out_neighbors(v))
-                want = refd.get(v, [])
-                assert got[: len(want)] == want, (
-                    f"crash@{crash_at}: vertex {v} lost/disordered edges: "
-                    f"{got[:8]} vs {want[:8]}"
-                )
-                assert len(got) <= len(want) + max_extra, (
-                    f"crash@{crash_at}: vertex {v} has phantom edges"
-                )
-    return tested
+
+def sweep(cfg, ops, samples, seed=0, **kw):
+    """Sampled sweep via the shared driver (oracle raises on violation)."""
+    return crash_sweep(
+        make_graph_factory(cfg),
+        ops,
+        SweepConfig(exhaustive_threshold=0, samples=samples, seed=seed,
+                    idempotence_samples=2, **kw),
+    )
 
 
 def make_edges(n, nv=48, seed=1, hot=None):
@@ -66,80 +46,53 @@ def make_edges(n, nv=48, seed=1, hot=None):
 
 class TestCrashSweeps:
     def test_sweep_default_config(self):
-        edges = make_edges(900)
-        n = crash_sweep(DGAPConfig(**BASE), edges, range(1, 4000, 41))
-        assert n > 20
+        ops = make_insert_workload(make_edges(900))
+        rep = sweep(DGAPConfig(**BASE), ops, samples=60)
+        assert rep.crash_points > 20
 
     def test_sweep_hot_vertex_forces_merges(self):
-        edges = make_edges(900, hot=7, seed=2)
-        n = crash_sweep(DGAPConfig(**BASE), edges, range(3, 4000, 53))
-        assert n > 15
+        ops = make_insert_workload(make_edges(900, hot=7, seed=2))
+        rep = sweep(DGAPConfig(**BASE), ops, samples=40, seed=2)
+        assert rep.crash_points > 15
 
     def test_sweep_no_edge_log(self):
-        edges = make_edges(700, seed=3)
+        ops = make_insert_workload(make_edges(700, seed=3))
         cfg = DGAPConfig(**BASE, use_edge_log=False)
-        n = crash_sweep(cfg, edges, range(5, 5000, 71))
-        assert n > 10
+        rep = sweep(cfg, ops, samples=25, seed=3)
+        assert rep.crash_points > 10
 
     def test_sweep_pmdk_tx_mode(self):
-        edges = make_edges(600, seed=4)
+        ops = make_insert_workload(make_edges(600, seed=4))
         cfg = DGAPConfig(**BASE, use_edge_log=False, use_undo_log=False)
-        n = crash_sweep(cfg, edges, range(7, 6000, 97))
-        assert n > 10
+        rep = sweep(cfg, ops, samples=25, seed=4)
+        assert rep.crash_points > 10
 
-    def test_sweep_dense_rebalance_every_point(self):
-        """Exhaustive: every persistence event around forced rebalances."""
+    def test_sweep_dense_rebalance_many_points(self):
+        """Dense sampling of every phase around forced rebalances."""
         cfg = DGAPConfig(init_vertices=16, init_edges=256, segment_slots=64, elog_size=96)
-        edges = [(i % 16, (i * 5) % 16) for i in range(400)]
-        n = crash_sweep(cfg, edges, range(1, 1200, 7))
-        assert n > 50
+        ops = make_insert_workload([(i % 16, (i * 5) % 16) for i in range(400)])
+        rep = sweep(cfg, ops, samples=120, seed=5)
+        assert rep.crash_points > 50
+        # the sweep crossed rebalance/merge activity, not just gap inserts
+        assert {r.op for r in rep.results} >= {"store", "flush", "fence"}
 
     def test_sweep_with_deletions(self):
+        """Mixed insert/delete workload: multiset oracle, same driver."""
         random.seed(9)
-        edges = []
+        live = {v: [] for v in range(16)}
+        ops = []
         for i in range(500):
-            edges.append((random.randrange(16), random.randrange(16)))
+            u, w = random.randrange(16), random.randrange(16)
+            if i % 5 == 4 and live[u]:
+                x = live[u][0]
+                ops.append(("delete", u, x))
+                live[u].remove(x)
+            else:
+                ops.append(("insert", u, w))
+                live[u].append(w)
         cfg = DGAPConfig(init_vertices=16, init_edges=512, segment_slots=64)
-
-        for crash_at in range(10, 2500, 111):
-            inj = CrashInjector()
-            g = DGAP(cfg, injector=inj)
-            inj.arm(crash_at)
-            live = {v: [] for v in range(16)}
-            crashed = False
-            try:
-                for i, (u, w) in enumerate(edges):
-                    if i % 5 == 4 and live[u]:
-                        x = live[u][0]
-                        g.delete_edge(u, x)
-                        live[u].remove(x)
-                    else:
-                        g.insert_edge(u, w)
-                        live[u].append(w)
-            except SimulatedCrash:
-                crashed = True
-            if not crashed:
-                break
-            inj.disarm()
-            g2 = DGAP.open(g.pool, cfg)
-            with g2.consistent_view() as snap:
-                for v in range(16):
-                    got = sorted(snap.out_neighbors(v).tolist())
-                    want = sorted(live[v])
-                    # at most one in-flight op difference
-                    diff = len(set_diff(got, want)) + len(set_diff(want, got))
-                    assert diff <= 1, (crash_at, v, got, want)
-
-
-def set_diff(a, b):
-    bb = list(b)
-    out = []
-    for x in a:
-        if x in bb:
-            bb.remove(x)
-        else:
-            out.append(x)
-    return out
+        rep = sweep(cfg, ops, samples=25, seed=9)
+        assert rep.crash_points > 10
 
 
 class TestRecoveryPaths:
@@ -231,6 +184,86 @@ class TestRecoveryPaths:
 
         with pytest.raises(RecoveryError):
             DGAP.open(PMemPool(1 << 20), DGAPConfig(**BASE))
+
+    def test_shutdown_flag_store_not_fenced_takes_crash_path(self):
+        """A crash with the NORMAL_SHUTDOWN root stored but not yet
+        fenced must reopen through crash recovery, not the fast path.
+
+        ``shutdown()`` ends with ``write_root(ROOT_SHUTDOWN, 1)`` =
+        store + clwb + sfence; crashing on the clwb leaves the flag in
+        the CPU cache only, so ADR reverts it and the pool looks
+        crashed — which it is: metadata durability was never ordered.
+        """
+        from repro.core.rebalance import ROOT_SHUTDOWN
+
+        cfg = DGAPConfig(**BASE)
+        edges = make_edges(400, seed=12)
+
+        # dry run: count shutdown's persistence events
+        inj = CrashInjector()
+        g = DGAP(cfg, injector=inj)
+        g.insert_edges(edges)
+        base = inj.total_events
+        g.shutdown()
+        shutdown_events = inj.total_events - base
+        assert g.pool.read_root(ROOT_SHUTDOWN) == 1
+
+        # replay, crashing at the flag's clwb (last event is its sfence)
+        inj = CrashInjector()
+        g = DGAP(cfg, injector=inj)
+        g.insert_edges(edges)
+        inj.arm(shutdown_events - 1)
+        with pytest.raises(SimulatedCrash):
+            g.shutdown()
+        inj.disarm()
+        assert g.pool.read_root(ROOT_SHUTDOWN) == 0  # store was reverted
+
+        g2 = DGAP.open(g.pool, cfg)
+        assert g2.num_edges == 400
+        ref = {}
+        for u, w in edges:
+            ref.setdefault(u, []).append(w)
+        for v in range(48):
+            assert list(g2.out_neighbors(v)) == ref.get(v, [])
+
+    def test_shutdown_flag_unfenced_under_persist_reorder(self):
+        """Same boundary under the persist-reorder policy: the flushed
+        flag line may or may not hit media at the crash; either way the
+        reopened graph must equal the pre-crash one."""
+        from repro.core.rebalance import ROOT_SHUTDOWN
+        from repro.pmem.faults import PERSIST_REORDER
+
+        cfg = DGAPConfig(**BASE)
+        edges = make_edges(300, seed=13)
+        ref = {}
+        for u, w in edges:
+            ref.setdefault(u, []).append(w)
+
+        inj = CrashInjector()
+        g = DGAP(cfg, injector=inj, faults=PERSIST_REORDER)
+        g.insert_edges(edges)
+        base = inj.total_events
+        g.shutdown()
+        shutdown_events = inj.total_events - base
+
+        seen_flags = set()
+        for seed in range(4):
+            inj = CrashInjector()
+            g = DGAP(cfg, injector=inj, faults=PERSIST_REORDER.with_seed(seed))
+            g.insert_edges(edges)
+            inj.arm(shutdown_events)  # the final sfence: flush is pending
+            with pytest.raises(SimulatedCrash):
+                g.shutdown()
+            inj.disarm()
+            flag = g.pool.read_root(ROOT_SHUTDOWN)
+            seen_flags.add(flag)
+            g2 = DGAP.open(g.pool, cfg)
+            assert g2.num_edges == 300
+            for v in range(48):
+                assert list(g2.out_neighbors(v)) == ref.get(v, [])
+        # across seeds the coin lands both ways: the flag persisted on
+        # some runs (fast restart) and was dropped on others (crash path)
+        assert seen_flags == {0, 1}
 
     def test_eadr_platform_crash(self):
         """§2.1.3: DGAP works on eADR too — caches survive power loss."""

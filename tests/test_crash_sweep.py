@@ -1,0 +1,201 @@
+"""Tests for the crash-sweep driver and its recovery oracle.
+
+The acceptance bar for the fault model: an **exhaustive** sweep (every
+persistence event) of a small insert+rebalance workload passes the
+prefix-consistency oracle under the clean ADR model, the torn-store
+model, and the persist-reorder model; poison sweeps either repair or
+report; and recovery is idempotent under crash-during-recovery.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import DGAP, DGAPConfig
+from repro.pmem.faults import (
+    ADVERSARIAL,
+    DEFAULT_POLICY,
+    PERSIST_REORDER,
+    TORN_STORES,
+    FaultPolicy,
+)
+from repro.testing import (
+    SweepConfig,
+    SweepFailure,
+    crash_sweep,
+    make_insert_workload,
+    verify_recovered_graph,
+)
+
+CFG = dict(init_vertices=8, init_edges=256, segment_slots=64, elog_size=96)
+
+
+def make_graph(injector, faults):
+    return DGAP(DGAPConfig(**CFG), injector=injector, faults=faults)
+
+
+def rebalance_workload():
+    """~80 ops hitting every insert path: gap inserts, log appends, a
+    forced merge+rebalance, and a couple of deletions."""
+    ops = [("insert", 0, d % 8) for d in range(76)]
+    ops += [("insert", 3, 1), ("insert", 5, 2)]
+    ops += [("delete", 0, 2), ("delete", 3, 1)]
+    return ops
+
+
+def exercised_paths(ops):
+    g = make_graph(None, None)
+    for kind, u, w in ops:
+        (g.insert_edge if kind == "insert" else g.delete_edge)(u, w)
+    return g
+
+
+class TestExhaustiveSweeps:
+    def test_workload_actually_rebalances(self):
+        """Guard: the sweep workload covers log appends and a rebalance
+        (otherwise the exhaustive sweeps below prove less than claimed)."""
+        g = exercised_paths(rebalance_workload())
+        assert g.n_log_inserts > 0
+        assert g.n_rebalances > 0
+        assert g.n_array_inserts > 0
+
+    @pytest.mark.parametrize(
+        "policy", [DEFAULT_POLICY, TORN_STORES, PERSIST_REORDER, ADVERSARIAL],
+        ids=["default", "torn", "reorder", "adversarial"],
+    )
+    def test_exhaustive_insert_rebalance_sweep(self, policy):
+        rep = crash_sweep(
+            make_graph,
+            rebalance_workload(),
+            SweepConfig(faults=policy, exhaustive_threshold=5000,
+                        idempotence_samples=6),
+        )
+        assert rep.exhaustive
+        assert rep.crash_points == rep.total_events > 200
+        assert rep.unrecoverable_count() == 0
+        assert sum(1 for r in rep.results if r.idempotence_checked) == 6
+        # crash points landed on every event kind
+        assert {r.op for r in rep.results} >= {"store", "flush", "fence", "ntstore"}
+
+    def test_poison_sweep_repairs_or_reports(self):
+        policy = FaultPolicy(torn_stores=True, persist_reorder=True,
+                             poison_on_crash=0.2, seed=11)
+        rep = crash_sweep(
+            make_graph,
+            rebalance_workload(),
+            SweepConfig(faults=policy, exhaustive_threshold=5000,
+                        idempotence_samples=4),
+        )
+        assert rep.exhaustive
+        # every point either passed the oracle or reported the damage
+        unrec = [r for r in rep.results if r.unrecoverable]
+        assert 0 < len(unrec) < rep.crash_points
+        for r in unrec:
+            assert "media error" in r.detail
+
+    def test_sweep_is_deterministic(self):
+        cfg = SweepConfig(faults=TORN_STORES, exhaustive_threshold=5000,
+                          idempotence_samples=3)
+        a = crash_sweep(make_graph, rebalance_workload(), cfg)
+        b = crash_sweep(make_graph, rebalance_workload(), cfg)
+        assert [(r.total_index, r.acked, r.in_flight_applied, r.recovery_ns)
+                for r in a.results] == \
+               [(r.total_index, r.acked, r.in_flight_applied, r.recovery_ns)
+                for r in b.results]
+
+
+class TestSampledSweeps:
+    def test_sampling_above_threshold(self):
+        rep = crash_sweep(
+            make_graph,
+            rebalance_workload(),
+            SweepConfig(exhaustive_threshold=10, samples=25,
+                        idempotence_samples=2, seed=7),
+        )
+        assert not rep.exhaustive
+        assert rep.crash_points <= 25
+        assert rep.crash_points > 15
+        # sampled coordinates are total-event indices within range
+        for r in rep.results:
+            assert 1 <= r.total_index <= rep.total_events
+
+    def test_report_stats(self):
+        rep = crash_sweep(
+            make_graph,
+            make_insert_workload([(0, d % 8) for d in range(30)]),
+            SweepConfig(exhaustive_threshold=1000, idempotence_samples=0),
+        )
+        stats = rep.recovery_stats()
+        assert set(stats) == {"min_us", "p50_us", "mean_us", "p95_us", "max_us"}
+        assert stats["min_us"] <= stats["p50_us"] <= stats["max_us"]
+        assert rep.recovery_ns().size == rep.crash_points
+
+
+class TestOracle:
+    def test_oracle_rejects_lost_acked_edge(self):
+        g = make_graph(None, None)
+        ops = make_insert_workload([(0, 1), (0, 2), (0, 3)])
+        for _, u, w in ops[:2]:
+            g.insert_edge(u, w)
+        # claim all three were acked: the missing (0, 3) must be flagged
+        with pytest.raises(SweepFailure, match="vertex 0"):
+            verify_recovered_graph(g, ops, acked=3)
+
+    def test_oracle_rejects_phantom_edge(self):
+        g = make_graph(None, None)
+        ops = make_insert_workload([(0, 1), (2, 5)])
+        for _, u, w in ops:
+            g.insert_edge(u, w)
+        g.insert_edge(4, 4)  # never in the workload
+        with pytest.raises(SweepFailure, match="vertex 4"):
+            verify_recovered_graph(g, ops, acked=2)
+
+    def test_oracle_accepts_in_flight_either_way(self):
+        ops = make_insert_workload([(0, 1), (0, 2)])
+        g = make_graph(None, None)
+        g.insert_edge(0, 1)
+        assert verify_recovered_graph(g, ops, acked=1) is False
+        g.insert_edge(0, 2)
+        assert verify_recovered_graph(g, ops, acked=1) is True
+
+    def test_oracle_rejects_duplicate_of_acked_edge(self):
+        g = make_graph(None, None)
+        ops = make_insert_workload([(0, 1)])
+        g.insert_edge(0, 1)
+        g.insert_edge(0, 1)  # applied twice
+        with pytest.raises(SweepFailure):
+            verify_recovered_graph(g, ops, acked=1)
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            crash_sweep(make_graph, [], SweepConfig())
+
+    def test_unknown_op_kind_rejected(self):
+        with pytest.raises(ValueError):
+            crash_sweep(make_graph, [("upsert", 0, 1)], SweepConfig())
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    data=st.data(),
+    torn=st.booleans(),
+    reorder=st.booleans(),
+    seed=st.integers(0, 2**16),
+)
+def test_property_random_workloads_survive_random_crashes(data, torn, reorder, seed):
+    """Any small random workload, any fault combination, a handful of
+    random crash points: the oracle always holds."""
+    edges = data.draw(st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 7)),
+        min_size=5, max_size=40,
+    ))
+    policy = FaultPolicy(torn_stores=torn, persist_reorder=reorder, seed=seed)
+    rep = crash_sweep(
+        make_graph,
+        make_insert_workload(edges),
+        SweepConfig(faults=policy, exhaustive_threshold=0, samples=6,
+                    idempotence_samples=1, seed=seed),
+    )
+    assert rep.unrecoverable_count() == 0

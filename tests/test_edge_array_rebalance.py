@@ -184,6 +184,6 @@ class TestBoundarySectionClears:
         g.rebalancer._clears_by_window(0, 32)
         # the outside vertex's entry must survive, the inside one must not
         entries = logs2.section_entries(0)
-        live_srcs = {int(e[0]) for e in entries if e[1] != 0}
+        live_srcs = {int(e[0]) - 1 for e in entries if e[1] != 0}
         assert outside_v in live_srcs
         assert inside_v not in live_srcs

@@ -291,3 +291,39 @@ class TestCrashInjection:
             inj.arm(0)
         with pytest.raises(ValueError):
             inj.arm(1, "nonsense")
+
+    def test_crash_reports_both_indices(self):
+        """The exception carries the per-kind index AND the canonical
+        total event index, so a sweep can re-arm on either coordinate."""
+        inj = CrashInjector()
+        dev = PMemDevice(4096, injector=inj)
+        inj.arm(1, "fence")
+        dev.store(0, b"a")  # total event #1
+        dev.store(8, b"b")  # total event #2
+        dev.clwb(0)         # total event #3
+        with pytest.raises(SimulatedCrash) as ei:
+            dev.sfence()    # fence #1, total event #4
+        crash = ei.value
+        assert crash.op == "fence"
+        assert crash.op_index == 1
+        assert crash.total_index == 4
+        text = str(crash)
+        assert "fence" in text and "#1" in text and "#4" in text
+        assert "op='fence'" in repr(crash)
+
+    def test_plan_object_not_mutated_by_injector(self):
+        """Arming copies the plan; the countdown lives in the injector,
+        so one plan object can drive many sweep iterations."""
+        from repro.pmem.crash import CrashPlan
+
+        plan = CrashPlan(countdown=2, event="store")
+        a = CrashInjector(plan)
+        b = CrashInjector(plan)
+        dev = PMemDevice(4096, injector=a)
+        dev.store(0, b"x")
+        assert a.remaining == 1
+        assert plan.countdown == 2  # caller's plan untouched
+        assert b.remaining == 2     # sibling injector unaffected
+        with pytest.raises(SimulatedCrash):
+            dev.store(8, b"y")
+        assert plan.countdown == 2
