@@ -28,7 +28,10 @@ def bfs(
     nv = view.num_vertices
     out_indptr, out_dsts = view.out_csr()
     in_indptr, in_srcs = view.in_csr()
-    out_deg = np.diff(out_indptr)
+    out_deg = view.out_degrees()
+    # ID_DTYPE ids would be re-cast to intp at every fancy index below
+    out_dsts = out_dsts.astype(np.intp)
+    in_srcs = in_srcs.astype(np.intp)
 
     parent = np.full(nv, -1, dtype=np.int64)
     parent[source] = source
@@ -58,7 +61,10 @@ def bfs(
             owners, nbrs = gather_edges(out_indptr, out_dsts, frontier)
             fresh = parent[nbrs] < 0
             parent[nbrs[fresh]] = owners[fresh]
-            next_frontier = np.unique(nbrs[fresh])
+            # dedupe via a bitmap: same sorted result as np.unique, no sort
+            discovered = np.zeros(nv, dtype=bool)
+            discovered[nbrs[fresh]] = True
+            next_frontier = np.flatnonzero(discovered)
             view.account_frontier(frontier.size, int(owners.size), serial_fraction=_BFS_SERIAL)
 
         edges_to_check -= scout

@@ -7,7 +7,7 @@ compresses trees by pointer jumping; converges in O(log V) rounds.
 The paper observes CC scales poorly on *all* systems because of the
 GAPBS implementation's ``parallel for`` scheduling (§4.3.1); we model
 that as a larger serial fraction on the per-round scan rather than
-inheriting a compiler artifact (DESIGN.md §8).
+inheriting a compiler artifact (DESIGN.md §9).
 """
 
 from __future__ import annotations
@@ -24,9 +24,9 @@ _CC_SERIAL = 0.12
 def connected_components(view: BaseGraphView, max_rounds: int = 64) -> np.ndarray:
     """|V|-sized array of component labels (the minimum vertex id reachable)."""
     nv = view.num_vertices
-    indptr, dsts = view.out_csr()
-    srcs = np.repeat(np.arange(nv, dtype=np.int64), np.diff(indptr))
-    dsts = dsts.astype(np.int64)
+    _, dsts = view.out_csr()
+    srcs = view.out_src_ids()  # intp, cached across kernels
+    dsts = dsts.astype(np.intp)  # ID_DTYPE would re-cast per gather
 
     comp = np.arange(nv, dtype=np.int64)
     for _ in range(max_rounds):

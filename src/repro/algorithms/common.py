@@ -4,19 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-
-def multi_arange(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
-    """Concatenated ``arange(s, s+c)`` per pair — the edge-gather primitive."""
-    counts = np.asarray(counts, dtype=np.int64)
-    total = int(counts.sum())
-    if total == 0:
-        return np.empty(0, dtype=np.int64)
-    cum = np.cumsum(counts)
-    return (
-        np.arange(total, dtype=np.int64)
-        - np.repeat(cum - counts, counts)
-        + np.repeat(np.asarray(starts, dtype=np.int64), counts)
-    )
+from ..nputil import multi_arange
 
 
 def gather_edges(indptr: np.ndarray, targets: np.ndarray, vertices: np.ndarray):

@@ -27,15 +27,19 @@ def pagerank(
     nv = view.num_vertices
     in_indptr, in_srcs = view.in_csr()
     out_deg = view.out_degrees().astype(np.float64)
-    safe_deg = np.where(out_deg > 0, out_deg, 1.0)
-    dst_ids = np.repeat(np.arange(nv, dtype=np.int64), np.diff(in_indptr))
+    # dangling vertices contribute nothing: zero inverse degree
+    inv_deg = np.where(out_deg > 0, 1.0 / np.where(out_deg > 0, out_deg, 1.0), 0.0)
+    in_srcs = in_srcs.astype(np.intp)  # ID_DTYPE would re-cast per gather
 
     score = np.full(nv, 1.0 / nv)
     base = (1.0 - damping) / nv
+    acc = np.zeros(in_srcs.size + 1)
     for _ in range(iterations):
-        contrib = score / safe_deg
-        contrib[out_deg == 0] = 0.0
-        sums = np.bincount(dst_ids, weights=contrib[in_srcs], minlength=nv)
+        contrib = score * inv_deg
+        # per-dst segment sums over the dst-sorted in-CSR: prefix sums
+        # differenced at the indptr boundaries (cheaper than a scatter)
+        np.cumsum(contrib[in_srcs], out=acc[1:])
+        sums = acc[in_indptr[1:]] - acc[in_indptr[:-1]]
         score = base + damping * sums
         view.account_full_scan(serial_fraction=_PR_SERIAL)
         view.account_compute(nv * 8 * 3, serial_fraction=_PR_SERIAL)

@@ -2,11 +2,15 @@
 
 from .view import (
     CSR_PM_GEOMETRY,
+    ID_DTYPE,
+    INDPTR_DTYPE,
     AnalysisClock,
     BaseGraphView,
     CSRArraysView,
     StorageGeometry,
+    build_in_csr,
 )
+from .viewcache import FULL_REBUILD_STALE_FRACTION, DGAPViewCache, ViewCacheStats
 
 __all__ = [
     "AnalysisClock",
@@ -14,4 +18,10 @@ __all__ = [
     "CSRArraysView",
     "StorageGeometry",
     "CSR_PM_GEOMETRY",
+    "ID_DTYPE",
+    "INDPTR_DTYPE",
+    "build_in_csr",
+    "DGAPViewCache",
+    "ViewCacheStats",
+    "FULL_REBUILD_STALE_FRACTION",
 ]

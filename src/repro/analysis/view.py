@@ -35,11 +35,36 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from . import costs
+
+#: CSR index conventions, shared by every view and kernel: vertex ids
+#: (dsts, srcs and the derived id arrays) are 4-byte — the paper stores
+#: 4 B destination ids and no simulated graph approaches 2^31 vertices —
+#: while indptr offsets are 8-byte (edge counts can exceed int32).
+ID_DTYPE = np.int32
+INDPTR_DTYPE = np.int64
+
+
+def build_in_csr(
+    out_indptr: np.ndarray, out_dsts: np.ndarray, nv: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Reference in-CSR: ``(in_indptr, in_srcs)`` from an out-CSR.
+
+    ``in_srcs`` is ordered by (dst, src, insertion order) via one stable
+    sort — the single source of truth the incremental delta merge in
+    :mod:`repro.analysis.viewcache` must reproduce bit-for-bit (float
+    summation order in PR's ``bincount`` depends on it).
+    """
+    srcs = np.repeat(np.arange(nv, dtype=ID_DTYPE), np.diff(out_indptr))
+    order = np.argsort(out_dsts, kind="stable")
+    counts = np.bincount(out_dsts, minlength=nv)
+    in_indptr = np.zeros(nv + 1, dtype=INDPTR_DTYPE)
+    np.cumsum(counts, out=in_indptr[1:])
+    return in_indptr, srcs[order]
 
 
 class AnalysisClock:
@@ -103,14 +128,20 @@ class StorageGeometry:
 
 
 class BaseGraphView(ABC):
-    """Storage-aware view: CSR materialization + access-cost accounting."""
+    """Storage-aware view: CSR materialization + access-cost accounting.
+
+    Derived arrays (the in-CSR, out-degrees, the repeated-id arrays the
+    kernels need) live in a ``_derived`` dict that clones of a view
+    *share*: running PR then BFS on views of the same unchanged graph
+    builds the in-CSR once.  The :class:`AnalysisClock` is per-view, so
+    one caller's ``reset_clock`` never disturbs another's accounting.
+    """
 
     geometry: StorageGeometry
 
-    def __init__(self) -> None:
+    def __init__(self, derived: Optional[Dict[str, object]] = None) -> None:
         self.clock = AnalysisClock()
-        self._out: Optional[Tuple[np.ndarray, np.ndarray]] = None
-        self._in: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._derived: Dict[str, object] = {} if derived is None else derived
 
     # -- structure ---------------------------------------------------------
     @property
@@ -119,6 +150,15 @@ class BaseGraphView(ABC):
 
     @property
     def num_edges(self) -> int:
+        """Edge count — does not force CSR materialization when the
+        subclass can count cheaply (:meth:`_count_edges`)."""
+        ne = self._derived.get("num_edges")
+        if ne is None:
+            ne = self._count_edges()
+            self._derived["num_edges"] = ne
+        return ne  # type: ignore[return-value]
+
+    def _count_edges(self) -> int:
         indptr, _ = self.out_csr()
         return int(indptr[-1])
 
@@ -127,25 +167,54 @@ class BaseGraphView(ABC):
         """(indptr, dsts) of the graph this view exposes."""
 
     def out_csr(self) -> Tuple[np.ndarray, np.ndarray]:
-        if self._out is None:
-            self._out = self._materialize_out()
-        return self._out
+        out = self._derived.get("out")
+        if out is None:
+            out = self._materialize_out()
+            self._derived["out"] = out
+        return out  # type: ignore[return-value]
 
     def in_csr(self) -> Tuple[np.ndarray, np.ndarray]:
-        if self._in is None:
+        inn = self._derived.get("in")
+        if inn is None:
             indptr, dsts = self.out_csr()
-            nv = self.num_vertices
-            srcs = np.repeat(np.arange(nv, dtype=np.int32), np.diff(indptr))
-            order = np.argsort(dsts, kind="stable")
-            counts = np.bincount(dsts, minlength=nv)
-            in_indptr = np.zeros(nv + 1, dtype=np.int64)
-            np.cumsum(counts, out=in_indptr[1:])
-            self._in = (in_indptr, srcs[order])
-        return self._in
+            inn = build_in_csr(indptr, dsts, self.num_vertices)
+            self._derived["in"] = inn
+        return inn  # type: ignore[return-value]
 
     def out_degrees(self) -> np.ndarray:
-        indptr, _ = self.out_csr()
-        return np.diff(indptr)
+        deg = self._derived.get("out_degrees")
+        if deg is None:
+            indptr, _ = self.out_csr()
+            deg = np.diff(indptr)
+            self._derived["out_degrees"] = deg
+        return deg  # type: ignore[return-value]
+
+    def out_src_ids(self) -> np.ndarray:
+        """Source id of every out-CSR entry, cached.
+
+        Derived id arrays are ``np.intp`` (not ``ID_DTYPE``): the kernels
+        use them as fancy-index/scatter operands every iteration, and
+        NumPy re-casts any other integer dtype to ``intp`` per call.
+        """
+        ids = self._derived.get("out_src_ids")
+        if ids is None:
+            ids = np.repeat(
+                np.arange(self.num_vertices, dtype=np.intp), self.out_degrees()
+            )
+            self._derived["out_src_ids"] = ids
+        return ids  # type: ignore[return-value]
+
+    def in_dst_ids(self) -> np.ndarray:
+        """Destination id of every in-CSR entry (``np.intp``, see
+        :meth:`out_src_ids`), cached."""
+        ids = self._derived.get("in_dst_ids")
+        if ids is None:
+            in_indptr, _ = self.in_csr()
+            ids = np.repeat(
+                np.arange(self.num_vertices, dtype=np.intp), np.diff(in_indptr)
+            )
+            self._derived["in_dst_ids"] = ids
+        return ids  # type: ignore[return-value]
 
     # -- accounting ---------------------------------------------------------------
     def account_full_scan(self, serial_fraction: float = 0.02) -> None:
@@ -196,8 +265,9 @@ class CSRArraysView(BaseGraphView):
         indptr: np.ndarray,
         dsts: np.ndarray,
         geometry: StorageGeometry = CSR_PM_GEOMETRY,
+        derived: Optional[Dict[str, object]] = None,
     ):
-        super().__init__()
+        super().__init__(derived)
         self._indptr = indptr
         self._dsts = dsts
         self.geometry = geometry
@@ -206,8 +276,19 @@ class CSRArraysView(BaseGraphView):
     def num_vertices(self) -> int:
         return len(self._indptr) - 1
 
+    def _count_edges(self) -> int:
+        return int(self._indptr[-1])
+
     def _materialize_out(self):
         return self._indptr, self._dsts
+
+    def clone(self) -> "CSRArraysView":
+        """Fresh view (own clock) sharing this view's arrays and derived
+        cache — the epoch-keyed whole-view reuse handed out by
+        :meth:`repro.baselines.interfaces.DynamicGraphSystem.analysis_view`."""
+        return CSRArraysView(
+            self._indptr, self._dsts, self.geometry, derived=self._derived
+        )
 
 
 __all__ = [
@@ -216,4 +297,7 @@ __all__ = [
     "CSRArraysView",
     "StorageGeometry",
     "CSR_PM_GEOMETRY",
+    "ID_DTYPE",
+    "INDPTR_DTYPE",
+    "build_in_csr",
 ]

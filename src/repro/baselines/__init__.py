@@ -12,7 +12,12 @@ from .bal import BlockedAdjacencyList
 from .csr import StaticCSR
 from .dgap_system import DGAPSystem
 from .graphone import GraphOneFD
-from .interfaces import DynamicGraphSystem, InsertProfile, PM_WRITE_BW_BYTES_PER_S
+from .interfaces import (
+    PM_WRITE_BW_BYTES_PER_S,
+    DynamicGraphSystem,
+    InsertProfile,
+    ViewReuseStats,
+)
 from .llama import LLAMA
 from .xpgraph import XPGraph
 
@@ -29,6 +34,7 @@ SYSTEMS = {
 __all__ = [
     "DynamicGraphSystem",
     "InsertProfile",
+    "ViewReuseStats",
     "PM_WRITE_BW_BYTES_PER_S",
     "StaticCSR",
     "BlockedAdjacencyList",

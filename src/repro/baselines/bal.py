@@ -90,10 +90,11 @@ class BlockedAdjacencyList(DynamicGraphSystem):
         dev.persist(pos, 4)
         self.tail_count[src] = cnt + 1
         self.degree[src] += 1
+        self._note_mutation()
         self._sw_edges += 1
 
     # -- analysis -------------------------------------------------------------
-    def analysis_view(self) -> BaseGraphView:
+    def _build_view(self) -> BaseGraphView:
         nv = self.num_vertices
         indptr = np.zeros(nv + 1, dtype=np.int64)
         np.cumsum(self.degree, out=indptr[1:])

@@ -59,7 +59,9 @@ class StaticCSR(DynamicGraphSystem):
         raise ImmutableGraphError("static CSR cannot be updated without a rebuild")
 
     # -- analysis -------------------------------------------------------------
-    def analysis_view(self) -> BaseGraphView:
+    def _build_view(self) -> BaseGraphView:
+        # Immutable: the view epoch never advances, so the base class
+        # serves every call after the first from the cached view.
         indptr = self.indptr_region.view
         dsts = self.dsts_region.view[: self._ne]
         return CSRArraysView(indptr, dsts, CSR_PM_GEOMETRY)

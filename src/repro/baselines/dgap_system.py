@@ -16,6 +16,7 @@ import numpy as np
 
 from ..analysis import costs
 from ..analysis.view import BaseGraphView, CSRArraysView, StorageGeometry
+from ..analysis.viewcache import DGAPViewCache
 from ..config import DGAPConfig
 from ..core.batch import EdgeBatch
 from ..core.dgap import DGAP
@@ -43,6 +44,7 @@ class DGAPSystem(DynamicGraphSystem):
             init_vertices=num_vertices, init_edges=expected_edges
         )
         self.graph = DGAP(self.config)
+        self._inc_cache = DGAPViewCache(self.graph)
 
     # -- updates ------------------------------------------------------------
     def insert_edge(self, src: int, dst: int) -> None:
@@ -56,10 +58,31 @@ class DGAPSystem(DynamicGraphSystem):
         return n
 
     # -- analysis -------------------------------------------------------------
-    def analysis_view(self) -> BaseGraphView:
+    @property
+    def view_epoch(self) -> int:
+        """DGAP's own structure epoch keys whole-view reuse."""
+        return int(self.graph.structure_epoch)
+
+    def view_counters(self):
+        """Whole-view reuse + incremental-materialization counters."""
+        c = self._inc_cache.stats.as_dict()
+        c["whole_view_hits"] = self.view_stats.hits
+        c["view_builds"] = self.view_stats.builds
+        c["sections_total"] = int(self.graph.ea.n_sections)
+        return c
+
+    def _build_view(self) -> BaseGraphView:
         with self.graph.consistent_view() as snap:
-            indptr, dsts = snap.to_csr()
-            indptr, dsts = indptr.copy(), dsts.copy()
+            if self.view_caching:
+                out, inn = self._inc_cache.materialize(snap)
+                indptr, dsts = out
+            else:
+                # From-scratch path.  No defensive copy: to_csr builds
+                # its arrays by fancy indexing / fresh allocation and
+                # never returns views into the persistent buffers (the
+                # aliasing test in tests/test_view_cache.py pins this).
+                indptr, dsts = snap.to_csr()
+                inn = None
         ne = max(1, int(indptr[-1]))
         nv = self.graph.num_vertices
         live_log = float(self.graph.logs.live_counts.sum())
@@ -83,7 +106,10 @@ class DGAPSystem(DynamicGraphSystem):
             chain_rnd_per_edge=chain_share,
             chain_rnd_ns=costs.PM_RND_NS,
         )
-        return CSRArraysView(indptr, dsts, geometry)
+        view = CSRArraysView(indptr, dsts, geometry)
+        if inn is not None:
+            view._derived["in"] = inn
+        return view
 
     def _devices(self):
         return (self.graph.pool.device,)

@@ -64,6 +64,7 @@ class GraphOneFD(DynamicGraphSystem):
     # -- updates ------------------------------------------------------------
     def insert_edge(self, src: int, dst: int) -> None:
         self.adj[src].append(dst)
+        self._note_mutation()  # analysis reads adj directly
         self._sw_edges += 1
         self._since_flush += 1
         self._since_archive += 1
@@ -83,6 +84,7 @@ class GraphOneFD(DynamicGraphSystem):
         if n == 0:
             return 0
         extend_adjacency(self.adj, batch.src, batch.dst)
+        self._note_mutation()
         self._sw_edges += n
         n_arch, self._since_archive = divmod(self._since_archive + n, ARCHIVE_BATCH)
         for _ in range(n_arch):
@@ -114,7 +116,7 @@ class GraphOneFD(DynamicGraphSystem):
             self._since_flush = 0
 
     # -- analysis -------------------------------------------------------------
-    def analysis_view(self) -> BaseGraphView:
+    def _build_view(self) -> BaseGraphView:
         nv = self.num_vertices
         degree = np.fromiter((len(a) for a in self.adj), dtype=np.int64, count=nv)
         indptr = np.zeros(nv + 1, dtype=np.int64)

@@ -59,6 +59,14 @@ class InsertProfile:
         return self.edges / s / 1e6 if s > 0 else float("inf")
 
 
+@dataclass
+class ViewReuseStats:
+    """Epoch-keyed whole-view reuse counters (see ``analysis_view``)."""
+
+    builds: int = 0
+    hits: int = 0
+
+
 class DynamicGraphSystem(ABC):
     """A graph store under evaluation: ingest a stream, analyze snapshots."""
 
@@ -67,9 +75,16 @@ class DynamicGraphSystem(ABC):
     insert_serial_fraction: float = 0.0
     #: per-edge software-path cost (ns) — calibration, documented per system.
     sw_overhead_ns: float = 0.0
+    #: epoch-keyed view reuse (and, for DGAP, incremental CSR
+    #: maintenance).  A host-wall-clock optimization only: modeled
+    #: times and kernel outputs are identical either way.
+    view_caching: bool = True
 
     def __init__(self) -> None:
         self._sw_edges = 0
+        self._view_epoch = 0
+        self._view_cache: Optional[Tuple[int, BaseGraphView]] = None
+        self.view_stats = ViewReuseStats()
 
     # -- updates ------------------------------------------------------------
     @abstractmethod
@@ -112,9 +127,45 @@ class DynamicGraphSystem(ABC):
         """Flush any buffered state (end of an ingest phase)."""
 
     # -- analysis -------------------------------------------------------------
-    @abstractmethod
+    @property
+    def view_epoch(self) -> int:
+        """Monotone version of the *analyzable* graph.
+
+        Bumped by :meth:`_note_mutation` whenever the graph an
+        ``analysis_view`` would expose changes.  Systems whose analysis
+        lags ingestion (LLAMA's snapshots) bump on snapshot creation
+        instead of per insert — preserving their staleness semantics.
+        """
+        return self._view_epoch
+
+    def _note_mutation(self) -> None:
+        self._view_epoch += 1
+
     def analysis_view(self) -> BaseGraphView:
-        """A view over the system's current analyzable graph."""
+        """A view over the system's current analyzable graph.
+
+        Epoch-keyed whole-view reuse: if the analyzable graph did not
+        change since the last call, the cached view's arrays and derived
+        caches (in-CSR, degree/id arrays) are handed out again under a
+        fresh clock.  Each caller always gets its own
+        :class:`~repro.analysis.view.AnalysisClock`, so accounting is
+        unaffected; disable with ``view_caching = False`` to force
+        from-scratch materialization on every call.
+        """
+        epoch = self.view_epoch
+        cached = self._view_cache
+        if self.view_caching and cached is not None and cached[0] == epoch:
+            self.view_stats.hits += 1
+            return cached[1].clone()  # type: ignore[attr-defined]
+        view = self._build_view()
+        self.view_stats.builds += 1
+        if self.view_caching and hasattr(view, "clone"):
+            self._view_cache = (epoch, view)
+        return view
+
+    @abstractmethod
+    def _build_view(self) -> BaseGraphView:
+        """Materialize a fresh view of the current analyzable graph."""
 
     # -- accounting ---------------------------------------------------------------
     @abstractmethod
@@ -168,6 +219,7 @@ __all__ = [
     "DynamicGraphSystem",
     "InsertProfile",
     "SystemCheckpoint",
+    "ViewReuseStats",
     "PM_WRITE_BW_BYTES_PER_S",
     "make_dram_device",
 ]

@@ -101,6 +101,10 @@ class LLAMA(DynamicGraphSystem):
         edges = np.asarray(self._delta, dtype=np.int64)
         self._delta.clear()
         self.n_snapshots += 1
+        # Analysis sees snapshots only, so the view epoch advances here
+        # (not per insert) — preserving LLAMA's analysis-staleness
+        # semantics: views between snapshots reuse the last one.
+        self._note_mutation()
         # group the batch by source: per-vertex fragments, written
         # sequentially (one streaming store for the whole delta)
         order = np.argsort(edges[:, 0], kind="stable")
@@ -133,7 +137,7 @@ class LLAMA(DynamicGraphSystem):
             self.pool.device.account_seq_write(nbytes, bucket="llama-flatten")
 
     # -- analysis -------------------------------------------------------------
-    def analysis_view(self) -> BaseGraphView:
+    def _build_view(self) -> BaseGraphView:
         nv = self.num_vertices
         indptr = np.zeros(nv + 1, dtype=np.int64)
         np.cumsum(self._degree, out=indptr[1:])

@@ -78,6 +78,7 @@ class XPGraph(DynamicGraphSystem):
         # functional state goes straight to the adjacency lists; the
         # pending list models what still sits only in the edge log.
         self.adj[src].append(dst)
+        self._note_mutation()  # analysis reads adj directly
         self._pending.append((src, dst))
         self._sw_edges += 1
         self._log_fill += 1
@@ -98,6 +99,7 @@ class XPGraph(DynamicGraphSystem):
         if n == 0:
             return 0
         extend_adjacency(self.adj, batch.src, batch.dst)
+        self._note_mutation()
         self._sw_edges += n
         src_l, dst_l = batch.src.tolist(), batch.dst.tolist()
         pos = 0
@@ -151,7 +153,7 @@ class XPGraph(DynamicGraphSystem):
         return 0.30 if self.n_archives else 0.05
 
     # -- analysis -------------------------------------------------------------
-    def analysis_view(self) -> BaseGraphView:
+    def _build_view(self) -> BaseGraphView:
         nv = self.num_vertices
         degree = np.fromiter((len(a) for a in self.adj), dtype=np.int64, count=nv)
         indptr = np.zeros(nv + 1, dtype=np.int64)

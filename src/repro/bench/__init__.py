@@ -10,7 +10,13 @@ from .harness import (
     pick_source,
     run_kernel,
 )
-from .reporting import emit, format_table, ingest_phase_table, paper_vs_measured
+from .reporting import (
+    analysis_loop_table,
+    emit,
+    format_table,
+    ingest_phase_table,
+    paper_vs_measured,
+)
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
@@ -24,5 +30,6 @@ __all__ = [
     "emit",
     "format_table",
     "ingest_phase_table",
+    "analysis_loop_table",
     "paper_vs_measured",
 ]

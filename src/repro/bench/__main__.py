@@ -24,7 +24,12 @@ from .harness import (
     pick_source,
     run_kernel,
 )
-from .reporting import crash_sweep_table, format_table, ingest_phase_table
+from .reporting import (
+    analysis_loop_table,
+    crash_sweep_table,
+    format_table,
+    ingest_phase_table,
+)
 
 SYSTEM_ORDER = ("dgap", "bal", "llama", "graphone", "xpgraph")
 
@@ -64,6 +69,39 @@ def cmd_analysis(args) -> None:
         ["system", "time (ms)", "vs CSR"],
         rows,
     ))
+
+
+def cmd_analysis_loop(args) -> None:
+    from .analysis_loop import DEFAULT_KERNELS, run_analysis_loop_pair, verify_view_counters
+
+    kernels = tuple(args.kernels.split(",")) if args.kernels else DEFAULT_KERNELS
+    pair = run_analysis_loop_pair(
+        args.dataset,
+        scale=args.scale,
+        rounds=args.rounds,
+        kernels=kernels,
+        sources=args.sources,
+        batch_size=_batch_size(args),
+    )
+    print(analysis_loop_table(pair))
+    print(format_table(
+        "loop identity (asserted) & speedup",
+        ["metric", "value"],
+        [
+            ("kernel outputs identical (sha256)", "yes"),
+            ("modeled seconds identical", "yes"),
+            ("analysis wall speedup (cached)", f"{pair.speedup:.2f}x"),
+        ],
+    ))
+    if args.check_counters:
+        checks = verify_view_counters(args.dataset, scale=args.scale)
+        print(format_table(
+            "incrementality counter checks",
+            ["check", "ok?", "detail"],
+            [(name, "yes" if ok else "NO", detail) for name, ok, detail in checks],
+        ))
+        if not all(ok for _, ok, _ in checks):
+            raise SystemExit("counter checks failed")
 
 
 def cmd_ablation(args) -> None:
@@ -187,6 +225,23 @@ def main(argv=None) -> int:
     p.add_argument("--kernel", choices=("pr", "bfs", "bc", "cc"), default="pr")
     p.add_argument("--scale", type=float, default=1.0)
     p.set_defaults(fn=cmd_analysis)
+
+    p = sub.add_parser(
+        "analysis-loop",
+        help="ingest→analyze loop: incremental view cache vs from-scratch",
+    )
+    p.add_argument("--dataset", choices=sorted(DATASETS), default="orkut")
+    p.add_argument("--scale", type=float, default=0.25)
+    p.add_argument("--rounds", type=int, default=10)
+    p.add_argument("--kernels", default="",
+                   help="comma list from pr,cc,bfs,bc (default: all four)")
+    p.add_argument("--sources", type=int, default=16,
+                   help="GAPBS-style trial count for the source kernels (bfs, bc)")
+    p.add_argument("--batch-size", type=int, default=0,
+                   help="ingest sub-batch size (<=0 = one batch per round)")
+    p.add_argument("--check-counters", action="store_true",
+                   help="also run the deterministic incrementality counter checks")
+    p.set_defaults(fn=cmd_analysis_loop)
 
     p = sub.add_parser("ablation", help="Table 5 component ablation")
     p.add_argument("--scale", type=float, default=0.5)

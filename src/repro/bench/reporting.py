@@ -79,6 +79,34 @@ def ingest_phase_table(results: Iterable) -> str:
     )
 
 
+def analysis_loop_table(pair, title: str = "analysis loop") -> str:
+    """Summarize a :class:`~repro.bench.analysis_loop.LoopPair`.
+
+    Per-round analysis wall clock for both arms (outputs and modeled
+    times are asserted identical before this table can exist), then the
+    cache counters that prove incrementality.
+    """
+    cached, uncached = pair.cached, pair.uncached
+    rows = [
+        (r, cw, uw, uw / max(cw, 1e-12))
+        for r, (cw, uw) in enumerate(zip(cached.round_wall(), uncached.round_wall()))
+    ]
+    rows.append(("total", cached.analysis_wall_s, uncached.analysis_wall_s, pair.speedup))
+    head = format_table(
+        f"{title} — {cached.dataset} (scale {cached.scale:g}, "
+        f"{cached.rounds} rounds, kernels {','.join(cached.kernels)})",
+        ["round", "cached wall (s)", "uncached wall (s)", "speedup"],
+        rows,
+        floatfmt="{:.4f}",
+    )
+    counters = format_table(
+        "view-cache counters (cached arm)",
+        ["counter", "value"],
+        sorted(cached.counters.items()),
+    )
+    return head + "\n\n" + counters
+
+
 def crash_sweep_table(report, title: str = "crash sweep") -> str:
     """Summarize a :class:`~repro.testing.SweepReport` (§4.4 robustness).
 
@@ -133,6 +161,7 @@ __all__ = [
     "format_table",
     "paper_vs_measured",
     "ingest_phase_table",
+    "analysis_loop_table",
     "crash_sweep_table",
     "emit",
     "flush_reports",

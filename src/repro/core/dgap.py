@@ -39,7 +39,7 @@ from .edge_log import EdgeLogs
 from .encoding import MAX_VERTEX, SLOT_DTYPE, encode_edge, encode_pivot
 from .locks import SectionLockTable
 from .pma_tree import DensityBounds
-from .snapshot import _multi_arange
+from ..nputil import multi_arange as _multi_arange
 from .rebalance import (
     ROOT_EPS,
     ROOT_GEN,
@@ -120,6 +120,7 @@ class DGAP:
         self._seed_pivots()
         if cfg.cow_degree_cache:
             self._init_cow_cache()
+        self._init_view_tracking()
         self._write_geometry_roots()
 
     # ------------------------------------------------------------------
@@ -184,6 +185,36 @@ class DGAP:
             self._cow_cache.set(v, int(self.va.degree[v]), int(self.va.live_degree[v]))
 
     # ------------------------------------------------------------------
+    # structure epochs (incremental analysis views)
+    # ------------------------------------------------------------------
+    def _init_view_tracking(self) -> None:
+        """Reset the structure epoch and per-section dirty stamps.
+
+        ``structure_epoch`` is a monotone counter bumped on every
+        structural mutation; ``_section_epoch[s]`` records the epoch
+        that last touched section ``s``.  A view cache materialized at
+        epoch ``e`` finds its dirty sections as ``_section_epoch > e``
+        — stamp-based, so there is no clearing step and any number of
+        caches (and a reopened graph) stay correct independently.
+        """
+        self.structure_epoch = 0
+        self._section_epoch = np.zeros(self.ea.n_sections, dtype=np.int64)
+
+    def _touch_sections(self, sections) -> None:
+        """Stamp ``sections`` (index, slice or array) with a fresh epoch."""
+        self.structure_epoch += 1
+        self._section_epoch[sections] = self.structure_epoch
+
+    def _touch_slot_range(self, lo_slot: int, hi_slot: int) -> None:
+        """Stamp every section overlapping slots ``[lo_slot, hi_slot)``."""
+        S = self.ea.segment_slots
+        self._touch_sections(slice(int(lo_slot) // S, (int(hi_slot) + S - 1) // S))
+
+    def sections_dirty_since(self, epoch: int) -> np.ndarray:
+        """Boolean mask of sections mutated after ``epoch``."""
+        return self._section_epoch > epoch
+
+    # ------------------------------------------------------------------
     # rebalancer callbacks
     # ------------------------------------------------------------------
     def stats_note_rebalance(self, slots: int) -> None:
@@ -191,12 +222,18 @@ class DGAP:
         self.slots_rebalanced += slots
 
     def note_rebalance_window(self, lo_slot: int, hi_slot: int) -> None:
-        if self.track_rebalance_windows:
+        self._touch_slot_range(lo_slot, hi_slot)
+        if getattr(self, "track_rebalance_windows", False):
             self.op_rebalance_windows.append((lo_slot, hi_slot))
 
     def stats_note_resize(self, new_capacity: int) -> None:
         self.n_resizes += 1
         self.locks.resize(self.ea.n_sections)
+        # New generation: every run may have moved — stamp everything.
+        self.structure_epoch += 1
+        self._section_epoch = np.full(
+            self.ea.n_sections, self.structure_epoch, dtype=np.int64
+        )
         if self.tx_mgr is not None:
             self._make_tx_mgr(new_capacity)
 
@@ -223,6 +260,7 @@ class DGAP:
             va.set_el(u, -1)
             self._sync_degree(u)
             self.ea.inc_occ(self.ea.section_of(pos))
+            self._touch_slot_range(pos, pos + 1)
             self.pool.write_root(ROOT_NV_HINT, va.num_vertices)
 
     def insert_edge(self, src: int, dst: int, thread_id: int = 0, tombstone: bool = False) -> None:
@@ -269,6 +307,7 @@ class DGAP:
             self._sync_degree(src)
             self.n_array_inserts += 1
             self.n_edges_inserted += 1
+            self._touch_slot_range(pos, pos + 1)
             # No density check here: a gap insert cannot overflow anything.
             # Rebalancing is driven by the edge logs (merge at 90%/full) and
             # by capacity (resize) — see §3 ③: "rebalancing might be
@@ -294,6 +333,7 @@ class DGAP:
         self._sync_degree(src)
         self.n_log_inserts += 1
         self.n_edges_inserted += 1
+        self._touch_sections(sec)
         if logs.fill_fraction(sec) >= cfg.elog_merge_fraction:
             self.rebalancer.merge_section(sec, thread_id)
 
@@ -357,6 +397,7 @@ class DGAP:
         va.set_live_degree(src, int(va.live_degree[src]) + live_delta)
         self._sync_degree(src)
         ea.recount(pos, g + 1)
+        self._touch_slot_range(pos, g + 1)
         self.n_shift_inserts += 1
         self.n_edges_inserted += 1
         self.rebalancer.maybe_rebalance(ea.section_of(pos), thread_id)
@@ -530,6 +571,7 @@ class DGAP:
                 va.bulk_apply_inserts(gsrc, nfree, nfree, lcum[ends] - lcum[ends - nfree])
                 self.n_array_inserts += n_fast
                 self.n_edges_inserted += n_fast
+                self._touch_sections(np.unique(fast_slots // S))
                 order_parts.append(fast_p[perm])
                 # As in the scalar path, gap inserts trigger no density
                 # check — rebalancing is driven by the edge logs.
@@ -624,6 +666,7 @@ class DGAP:
                     )
                     self.n_log_inserts += n_log
                     self.n_edges_inserted += n_log
+                    self._touch_sections(np.unique(usecs[inv[ki]]))
                     order_parts.append(kp)
 
                 if cut_sec >= 0:

@@ -17,7 +17,7 @@ layout over the window under crash protection:
   crash *redoes* the idempotent copy from scratch.  This deviates from
   the paper's description (which chunk-backs-up destinations but does
   not explain how interrupted multi-chunk permutations are replayed —
-  see DESIGN.md §8); it preserves the cost profile (bulk sequential
+  see DESIGN.md §9); it preserves the cost profile (bulk sequential
   writes, no PMDK journal allocations, O(1) ordering points) while
   making every crash point provably recoverable, which the crash-sweep
   tests verify exhaustively.
@@ -380,8 +380,7 @@ class Rebalancer:
         self._apply_dram(g, new_starts)
         ea.recount(g.lo, g.hi)
         host.stats_note_rebalance(g.hi - g.lo)
-        if getattr(host, "track_rebalance_windows", False):
-            host.note_rebalance_window(g.lo, g.hi)
+        host.note_rebalance_window(g.lo, g.hi)
 
     def resize(self, thread_id: int = 0) -> None:
         """Copy-on-write generation switch to a (at least) doubled array."""

@@ -86,6 +86,7 @@ def open_from_pool(cls, pool: PMemPool, config: Optional[DGAPConfig] = None):
     host.slots_rebalanced = 0
     host._active_snapshots = 0
     host.rebalancer = Rebalancer(host)
+    host._init_view_tracking()
 
     if pool.read_root(ROOT_SHUTDOWN) == 1:
         _normal_restart(host)

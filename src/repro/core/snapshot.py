@@ -30,18 +30,11 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..errors import SnapshotError
+from ..nputil import multi_arange
 from .encoding import SLOT_DTYPE, TOMB_BIT
 
-
-def _multi_arange(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
-    """Concatenate ``arange(s, s+c)`` for each (s, c) pair, vectorized."""
-    total = int(counts.sum())
-    if total == 0:
-        return np.empty(0, dtype=np.int64)
-    cum = np.cumsum(counts)
-    return np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts) + np.repeat(
-        starts, counts
-    )
+#: historical alias — external code and tests import the underscored name.
+_multi_arange = multi_arange
 
 
 class DGAPSnapshot:
@@ -144,74 +137,77 @@ class DGAPSnapshot:
         return _apply_tombstones(dsts, tomb)
 
     # -- bulk materialization ---------------------------------------------------------
-    def to_csr(self) -> Tuple[np.ndarray, np.ndarray]:
-        """(indptr, dsts) of the live snapshot graph — cached per snapshot.
+    def materialize_rows(self, vids: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Row counts and concatenated live rows of ``vids``, in order.
 
-        The common case (no pending chains, no tombstones) is fully
-        vectorized; vertices that need chain walks or tombstone
-        filtering are patched individually.
+        Returns ``(counts, dsts)``: ``counts[i]`` is the live degree of
+        ``vids[i]`` at snapshot time and ``dsts`` holds the rows back to
+        back.  The common case (no pending chains, no tombstones) is
+        fully vectorized; vertices that need chain walks or tombstone
+        filtering are patched individually.  Both arrays are always
+        freshly allocated — never views into the persistent buffers.
         """
         self._check()
-        if self._csr is not None:
-            return self._csr
         va = self.host.va
-        nv = self.num_vertices
-        deg_t = self.degree_t[:nv]
-        a_now = va.array_degree[:nv]
-        starts = va.start[:nv]
+        vids = np.asarray(vids, dtype=np.int64)
+        deg_t = self.degree_t[vids]
+        a_now = va.array_degree[vids]
+        starts = va.start[vids]
         n_arr = np.minimum(a_now, deg_t)
         idx = _multi_arange(starts, n_arr)
         vals = self.host.ea.slots[idx] if idx.size else np.empty(0, dtype=SLOT_DTYPE)
 
         needs_chain = deg_t > n_arr
-        has_tomb = np.zeros(nv, dtype=bool)
+        has_tomb = np.zeros(vids.size, dtype=bool)
         if vals.size:
             tomb_positions = (vals & TOMB_BIT) != 0
             if tomb_positions.any():
-                owner = np.repeat(np.arange(nv), n_arr)
+                owner = np.repeat(np.arange(vids.size), n_arr)
                 has_tomb[np.unique(owner[tomb_positions])] = True
         special = np.nonzero(needs_chain | has_tomb)[0]
 
         if special.size == 0:
-            indptr = np.zeros(nv + 1, dtype=np.int64)
-            np.cumsum(n_arr, out=indptr[1:])
             dsts = (vals & ~TOMB_BIT) - 1
-            self._csr = (indptr, dsts.astype(np.int32, copy=False))
-            return self._csr
+            return n_arr, dsts.astype(np.int32, copy=False)
 
         # General path: splice per-vertex corrected segments.
         counts = n_arr.copy()
         patches = {}
-        for v in special:
-            nb = self.out_neighbors(int(v))
-            patches[int(v)] = nb
-            counts[v] = nb.size
-        indptr = np.zeros(nv + 1, dtype=np.int64)
-        np.cumsum(counts, out=indptr[1:])
-        dsts = np.empty(int(indptr[-1]), dtype=np.int32)
+        for i in special:
+            nb = self.out_neighbors(int(vids[i]))
+            patches[int(i)] = nb
+            counts[i] = nb.size
+        offsets = np.zeros(vids.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        dsts = np.empty(int(offsets[-1]), dtype=np.int32)
         # vectorized fill for ordinary vertices
         ordinary = ~(needs_chain | has_tomb)
         src_idx = _multi_arange(starts[ordinary], n_arr[ordinary])
-        dst_idx = _multi_arange(indptr[:-1][ordinary], counts[ordinary])
+        dst_idx = _multi_arange(offsets[:-1][ordinary], counts[ordinary])
         if src_idx.size:
             slot_vals = self.host.ea.slots[src_idx]
             dsts[dst_idx] = (slot_vals & ~TOMB_BIT) - 1
-        for v, nb in patches.items():
-            dsts[indptr[v] : indptr[v] + nb.size] = nb
-        self._csr = (indptr, dsts)
+        for i, nb in patches.items():
+            dsts[offsets[i] : offsets[i] + nb.size] = nb
+        return counts, dsts
+
+    def to_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(indptr, dsts) of the live snapshot graph — cached per snapshot."""
+        self._check()
+        if self._csr is None:
+            nv = self.num_vertices
+            counts, dsts = self.materialize_rows(np.arange(nv, dtype=np.int64))
+            indptr = np.zeros(nv + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            self._csr = (indptr, dsts)
         return self._csr
 
     def to_csc(self) -> Tuple[np.ndarray, np.ndarray]:
         """Transpose (in-edges) of the snapshot, built from the CSR by counting sort."""
+        from ..analysis.view import build_in_csr
+
         indptr, dsts = self.to_csr()
-        nv = self.num_vertices
-        srcs = np.repeat(np.arange(nv, dtype=np.int32), np.diff(indptr))
-        order = np.argsort(dsts, kind="stable")
-        in_srcs = srcs[order]
-        counts = np.bincount(dsts, minlength=nv)
-        in_indptr = np.zeros(nv + 1, dtype=np.int64)
-        np.cumsum(counts, out=in_indptr[1:])
-        return in_indptr, in_srcs
+        return build_in_csr(indptr, dsts, self.num_vertices)
 
 
 def _apply_tombstones(dsts: np.ndarray, tomb: np.ndarray) -> np.ndarray:

@@ -1,0 +1,26 @@
+"""Small NumPy primitives shared across core and kernel code."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def multi_arange(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(s, s+c)`` per (start, count) pair, vectorized.
+
+    The gather primitive behind both the snapshot CSR materialization
+    and the kernels' edge gathers; always returns int64 indices.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    cum = np.cumsum(counts)
+    return (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(cum - counts, counts)
+        + np.repeat(np.asarray(starts, dtype=np.int64), counts)
+    )
+
+
+__all__ = ["multi_arange"]
