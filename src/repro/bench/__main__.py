@@ -204,6 +204,33 @@ def cmd_crash_sweep(args) -> None:
     ))
 
 
+def cmd_race_check(args) -> None:
+    from ..testing import RaceCheckConfig, race_check
+    from ..testing.racecheck import SCENARIOS, dry_run
+    from .reporting import race_check_dry_table, race_check_table
+
+    names = args.scenarios.split(",") if args.scenarios else None
+    if names:
+        unknown = [n for n in names if n not in SCENARIOS]
+        if unknown:
+            raise SystemExit(f"unknown scenarios {unknown}; have {sorted(SCENARIOS)}")
+    if args.dry_run:
+        counts = {}
+        for name in names or list(SCENARIOS):
+            counts.update(dry_run(name))
+        print(race_check_dry_table(counts))
+        return
+    report = race_check(RaceCheckConfig(
+        max_schedules=args.schedules, seed=args.seed, scenarios=names,
+    ))
+    print(race_check_table(
+        report,
+        title=f"race check — lock-discipline oracle (seed {args.seed})",
+    ))
+    if not report.ok:
+        raise SystemExit(1)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.bench", description=__doc__)
     sub = parser.add_subparsers(dest="cmd", required=True)
@@ -270,6 +297,19 @@ def main(argv=None) -> int:
     p.add_argument("--exhaustive-threshold", type=int, default=1000)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_crash_sweep)
+
+    p = sub.add_parser(
+        "race-check",
+        help="deterministic-interleaving sweep with the lock-discipline oracle",
+    )
+    p.add_argument("--scenarios", default="",
+                   help="comma list of scenario names (default: all)")
+    p.add_argument("--schedules", type=int, default=120,
+                   help="schedule budget per scenario (exhaustive when it fits)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--dry-run", action="store_true",
+                   help="one default schedule per scenario: event counts only")
+    p.set_defaults(fn=cmd_race_check)
 
     args = parser.parse_args(argv)
     args.fn(args)

@@ -138,6 +138,52 @@ def crash_sweep_table(report, title: str = "crash sweep") -> str:
     return format_table(title, ["metric", "value"], rows, floatfmt="{:.2f}")
 
 
+def race_check_table(report, title: str = "race check") -> str:
+    """Summarize a :class:`~repro.testing.RaceCheckReport`.
+
+    One row per scenario: how many schedules were driven, whether the
+    schedule space was exhausted or sampled, how many interleaving
+    decision points and protocol events those schedules covered, and
+    the lock-discipline oracle's verdict (violations must be zero).
+    """
+    rows = [
+        (
+            s.name,
+            s.schedules,
+            "exhaustive" if s.exhaustive else "sampled",
+            s.decision_points,
+            s.events,
+            s.violations,
+            "ok" if s.ok else "FAIL",
+        )
+        for s in report.scenarios
+    ]
+    table = format_table(
+        title,
+        ["scenario", "schedules", "coverage", "decisions", "events", "violations", "verdict"],
+        rows,
+    )
+    if report.failures:
+        table += "\nfailures:\n" + "\n".join(
+            f"  {f}" for f in report.failures[:10]
+        )
+    return table
+
+
+def race_check_dry_table(counts, title: str = "race check (dry run)") -> str:
+    """Per-scenario event counts from one default schedule each —
+    the pre-flight view of how much interleaving surface a full
+    exploration would cover (mirrors the crash sweep's dry run)."""
+    kinds = sorted({k for c in counts.values() for k in c if k != "decision-points"})
+    rows = [
+        (name,)
+        + tuple(c.get(k, 0) for k in kinds)
+        + (c.get("decision-points", 0),)
+        for name, c in counts.items()
+    ]
+    return format_table(title, ["scenario"] + kinds + ["decisions"], rows)
+
+
 #: tables collected during a benchmark session; pytest's capture swallows
 #: per-test stdout of passing tests, so the benchmarks' conftest flushes
 #: this registry in ``pytest_terminal_summary`` — that is how every table
@@ -163,6 +209,8 @@ __all__ = [
     "ingest_phase_table",
     "analysis_loop_table",
     "crash_sweep_table",
+    "race_check_table",
+    "race_check_dry_table",
     "emit",
     "flush_reports",
 ]

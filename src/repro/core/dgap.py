@@ -245,23 +245,47 @@ class DGAP:
         if v > MAX_VERTEX:
             raise VertexRangeError(f"vertex {v} exceeds encodable maximum {MAX_VERTEX}")
         va = self.va
+        locked = self.config.thread_safe
         while va.num_vertices <= v:
             u = va.num_vertices
             last = u - 1
             pos = int(va.start[last] + va.array_degree[last])
-            if pos >= self.ea.capacity:
-                self.rebalancer.resize()
-                continue
-            if self.ea.slots[pos] != 0:
-                raise GraphError("tail slot unexpectedly occupied")
-            self.ea.write_slot(pos, encode_pivot(u), payload=4, persist=True)
-            va.grow(u + 1)
-            va.set_start(u, pos + 1)
-            va.set_el(u, -1)
-            self._sync_degree(u)
-            self.ea.inc_occ(self.ea.section_of(pos))
-            self._touch_slot_range(pos, pos + 1)
-            self.pool.write_root(ROOT_NV_HINT, va.num_vertices)
+            held = None
+            if locked:
+                # Tail pivot write: exclusive with appends to the last run.
+                held = self.locks.acquire_many(
+                    {
+                        self.ea.section_of(int(va.start[last]) - 1),
+                        self.ea.section_of(min(pos, self.ea.capacity - 1)),
+                    }
+                )
+                stale = (
+                    va.num_vertices != u
+                    or int(va.start[last] + va.array_degree[last]) != pos
+                )
+                if stale:
+                    self.locks.release_many(held)
+                    continue
+            try:
+                if pos >= self.ea.capacity:
+                    if held is not None:
+                        self.locks.release_many(held)
+                        held = None
+                    self.rebalancer.resize()
+                    continue
+                if self.ea.slots[pos] != 0:
+                    raise GraphError("tail slot unexpectedly occupied")
+                self.ea.write_slot(pos, encode_pivot(u), payload=4, persist=True)
+                va.grow(u + 1)
+                va.set_start(u, pos + 1)
+                va.set_el(u, -1)
+                self._sync_degree(u)
+                self.ea.inc_occ(self.ea.section_of(pos))
+                self._touch_slot_range(pos, pos + 1)
+                self.pool.write_root(ROOT_NV_HINT, va.num_vertices)
+            finally:
+                if held is not None:
+                    self.locks.release_many(held)
 
     def insert_edge(self, src: int, dst: int, thread_id: int = 0, tombstone: bool = False) -> None:
         """Insert directed edge ``src -> dst`` (``g.insertE``).
@@ -279,19 +303,100 @@ class DGAP:
             self.insert_vertex(max(src, dst))
         self._insert_one(int(src), int(dst), thread_id, tombstone)
 
-    def _insert_one(self, src: int, dst: int, thread_id: int, tombstone: bool) -> None:
-        """One-edge insert for an existing vertex (lock + inner path)."""
-        locked = self.config.thread_safe
-        sec_pivot = self.ea.section_of(int(self.va.start[src]) - 1)
-        if locked:
-            self.locks.acquire(sec_pivot)
-        try:
-            self._insert_edge_inner(src, dst, thread_id, tombstone)
-        finally:
-            if locked:
-                self.locks.release(sec_pivot)
+    # -- §3.1.6 lock sets ------------------------------------------------
+    #
+    # A writer locks the *pivot* section of its source vertex (edge-log
+    # appends land there) plus the section of the append position — run
+    # tails cross section boundaries, and a rebalance window can only be
+    # exclusive if the writer holds the section it actually stores into.
+    # Lock sets are recomputed and re-validated after acquisition: the
+    # run may have moved (rebalance) or the whole geometry changed
+    # (resize) while the writer waited.  Rebalances and resizes are
+    # *deferred* out of the locked region (`_insert_edge_inner` returns
+    # a pending action instead of calling the rebalancer): acquiring a
+    # multi-section window while already holding a mid-window section is
+    # the out-of-order acquisition the lock-discipline oracle rejects,
+    # and two writers doing it concurrently deadlock.
 
-    def _insert_edge_inner(self, src: int, dst: int, thread_id: int, tombstone: bool) -> None:
+    def _insert_lock_set(self, src: int) -> set:
+        start = int(self.va.start[src])
+        pos = start + int(self.va.array_degree[src])
+        secs = {self.ea.section_of(start - 1)}
+        if pos < self.ea.capacity:
+            secs.add(self.ea.section_of(pos))
+        return secs
+
+    def _shift_lock_set(self, src: int) -> set:
+        """Sections a nearby shift may rewrite: run head to the first gap."""
+        va, ea = self.va, self.ea
+        start = int(va.start[src])
+        pos = start + int(va.array_degree[src])
+        lo_sec = ea.section_of(start - 1)
+        if pos >= ea.capacity:
+            return {lo_sec}
+        free = np.flatnonzero(ea.slots[pos:] == 0)
+        g = pos + int(free[0]) if free.size else ea.capacity
+        return set(range(lo_sec, ea.section_of(min(g, ea.capacity - 1)) + 1))
+
+    def _acquire_validated(self, src: int, lock_set_fn) -> list:
+        """Acquire ``lock_set_fn(src)`` and re-validate it under the locks."""
+        while True:
+            held = self.locks.acquire_many(lock_set_fn(src))
+            if set(lock_set_fn(src)) <= set(held):
+                return held
+            self.locks.release_many(held)
+
+    def _insert_one(self, src: int, dst: int, thread_id: int, tombstone: bool) -> None:
+        """One-edge insert for an existing vertex (lock + inner path).
+
+        Rebalance work triggered by the insert (section merge, density
+        rebalance, resize) runs *after* the writer's section locks are
+        released; the rebalancer then takes its own window locks via
+        ``begin_rebalance``.  With ``thread_safe=False`` the deferral is
+        pure control flow — the persistence-event order is identical to
+        the historical inline calls, which the crash sweeps pin down.
+        """
+        locked = self.config.thread_safe
+        stage = "inner"
+        while True:
+            held = None
+            if locked:
+                held = self._acquire_validated(
+                    src, self._insert_lock_set if stage == "inner" else self._shift_lock_set
+                )
+            try:
+                if stage == "inner":
+                    pending = self._insert_edge_inner(src, dst, thread_id, tombstone)
+                else:  # stage == "shift": retry the nearby shift after a resize
+                    pending = self._insert_with_shift(
+                        src, encode_edge(dst, tombstone), -1 if tombstone else 1, thread_id
+                    )
+            finally:
+                if held is not None:
+                    self.locks.release_many(held)
+            if pending is None:
+                return
+            kind = pending[0]
+            if kind == "merge":  # insert landed; log crossed the merge point
+                self.rebalancer.merge_section(pending[1], thread_id)
+                return
+            if kind == "merge_retry":  # log full; merge, then redo the insert
+                self.rebalancer.merge_section(pending[1], thread_id)
+                stage = "inner"
+                continue
+            if kind == "resize_shift":  # shift found no gap; resize, redo shift
+                self.rebalancer.resize(thread_id)
+                stage = "shift"
+                continue
+            if kind == "do_shift":  # No-EL ablation: shift needs its own lock set
+                stage = "shift"
+                continue
+            if kind == "rebalance":  # shift landed; density check is due
+                self.rebalancer.maybe_rebalance(pending[1], thread_id)
+                return
+            raise GraphError(f"unknown deferred insert action {pending!r}")
+
+    def _insert_edge_inner(self, src: int, dst: int, thread_id: int, tombstone: bool):
         va, ea, logs, cfg = self.va, self.ea, self.logs, self.config
         enc = encode_edge(dst, tombstone)
         pos = int(va.start[src] + va.array_degree[src])
@@ -316,16 +421,18 @@ class DGAP:
             return
 
         if not cfg.use_edge_log:
-            # Ablation "No EL": the naive mutable-CSR nearby shift.
-            self._insert_with_shift(src, enc, live_delta, thread_id)
-            return
+            # Ablation "No EL": the naive mutable-CSR nearby shift.  Hand
+            # control back to `_insert_one` so the shift runs under its
+            # (wider) lock set rather than the pivot/append pair.
+            if cfg.thread_safe:
+                return ("do_shift",)
+            return self._insert_with_shift(src, enc, live_delta, thread_id)
 
         sec = ea.section_of(int(va.start[src]) - 1)
         if logs.counts[sec] >= logs.capacity:
-            # Log completely full (merge threshold was deferred): force a merge.
-            self.rebalancer.merge_section(sec, thread_id)
-            self._insert_edge_inner(src, dst, thread_id, tombstone)
-            return
+            # Log completely full (merge threshold was deferred): force a
+            # merge (deferred past lock release), then redo the insert.
+            return ("merge_retry", sec)
         gidx = logs.append(sec, src, int(enc), int(va.el[src]))
         va.set_el(src, gidx)
         va.set_degree(src, int(va.degree[src]) + 1)
@@ -335,21 +442,22 @@ class DGAP:
         self.n_edges_inserted += 1
         self._touch_sections(sec)
         if logs.fill_fraction(sec) >= cfg.elog_merge_fraction:
-            self.rebalancer.merge_section(sec, thread_id)
+            return ("merge", sec)
+        return None
 
-    def _insert_with_shift(self, src: int, enc: int, live_delta: int, thread_id: int) -> None:
+    def _insert_with_shift(self, src: int, enc: int, live_delta: int, thread_id: int):
         """Naive PMA insert: shift the occupied range right to open a gap.
 
         This is the write-amplification path of Fig. 1(a) — every
         element between the insertion point and the next gap is
         rewritten and persisted.  Protected by the undo log (or a PMDK
-        transaction under "No EL&UL").
+        transaction under "No EL&UL").  Returns a deferred action for
+        `_insert_one` (resize wanted, or a post-shift density check).
         """
         va, ea = self.va, self.ea
         pos = int(va.start[src] + va.array_degree[src])
         if pos >= ea.capacity:
-            self.rebalancer.resize(thread_id)
-            return self._insert_with_shift(src, enc, live_delta, thread_id)
+            return ("resize_shift",)
         slots = ea.slots
         # find the first gap at or after pos
         g = pos
@@ -357,8 +465,7 @@ class DGAP:
         while g < cap and slots[g] != 0:
             g += 1
         if g >= cap:
-            self.rebalancer.resize(thread_id)
-            return self._insert_with_shift(src, enc, live_delta, thread_id)
+            return ("resize_shift",)
 
         dev = self.pool.device
         nbytes = (g - pos + 1) * 4
@@ -400,7 +507,7 @@ class DGAP:
         self._touch_slot_range(pos, g + 1)
         self.n_shift_inserts += 1
         self.n_edges_inserted += 1
-        self.rebalancer.maybe_rebalance(ea.section_of(pos), thread_id)
+        return ("rebalance", ea.section_of(pos))
 
     def _do_shift(self, pos: int, gap: int, enc: int) -> None:
         """Move ``slots[pos:gap]`` one to the right and write ``enc`` at ``pos``."""
@@ -513,29 +620,47 @@ class DGAP:
         regrouped against the new geometry — exactly what the scalar
         path's retry does.
         """
-        va, ea, logs, cfg = self.va, self.ea, self.logs, self.config
-        S = ea.segment_slots
-        psrc = srcs[pending]
-        sec_keys = (va.start[psrc] - 1) // S
-        order = np.lexsort((psrc, sec_keys))
-        p = pending[order]
-        o_src = psrc[order]
-        m = int(p.size)
+        va, cfg = self.va, self.config
+        S = self.ea.segment_slots
+        while True:
+            ea, logs = self.ea, self.logs
+            psrc = srcs[pending]
+            sec_keys = (va.start[psrc] - 1) // S
+            order = np.lexsort((psrc, sec_keys))
+            p = pending[order]
+            o_src = psrc[order]
+            m = int(p.size)
 
-        # distinct-source subgroups (contiguous; sections stay contiguous too)
-        change = np.empty(m, dtype=bool)
-        change[0] = True
-        np.not_equal(o_src[1:], o_src[:-1], out=change[1:])
-        gstart = np.flatnonzero(change)
-        gcount = np.diff(np.append(gstart, m))
-        gsrc = o_src[gstart]
-        gsec = sec_keys[order][gstart]
+            # distinct-source subgroups (contiguous; sections contiguous too)
+            change = np.empty(m, dtype=bool)
+            change[0] = True
+            np.not_equal(o_src[1:], o_src[:-1], out=change[1:])
+            gstart = np.flatnonzero(change)
+            gcount = np.diff(np.append(gstart, m))
+            gsrc = o_src[gstart]
+            gsec = sec_keys[order][gstart]
 
-        held: list = []
-        if cfg.thread_safe:
-            for s in np.unique(gsec).tolist():
-                self.locks.acquire(int(s))
-                held.append(int(s))
+            held: list = []
+            if not cfg.thread_safe:
+                break
+            # Lock every section a group may store into: its pivot section
+            # through the section of its worst-case trailing-gap fill (the
+            # fast phase writes at most `gcount` slots past the run end).
+            need: set = set()
+            wpos = va.start[gsrc] + va.array_degree[gsrc]
+            wend = np.minimum(wpos + gcount, ea.capacity) - 1
+            for a, b in zip(gsec.tolist(), (np.maximum(wend, 0) // S).tolist()):
+                need.update(range(int(a), min(int(b), ea.n_sections - 1) + 1))
+            held = self.locks.acquire_many(need)
+            stale = (
+                self.ea is not ea
+                or not np.array_equal((va.start[psrc] - 1) // S, sec_keys)
+                or not np.array_equal(va.start[gsrc] + va.array_degree[gsrc], wpos)
+            )
+            if not stale:
+                break
+            # A rebalance/resize moved runs while we waited: regroup.
+            self.locks.release_many(held)
         try:
             # ---- fast phase: fill trailing gap runs ----------------------
             cap = ea.capacity
@@ -669,11 +794,14 @@ class DGAP:
                     self._touch_sections(np.unique(usecs[inv[ki]]))
                     order_parts.append(kp)
 
-                if cut_sec >= 0:
-                    self.rebalancer.merge_section(cut_sec, thread_id)
         finally:
-            for s in reversed(held):
-                self.locks.release(s)
+            self.locks.release_many(held)
+
+        if rem.any() and cut_sec >= 0:
+            # Deferred past the release: a merge takes window locks of its
+            # own, and taking them while holding writer locks is the
+            # out-of-order acquisition the lock discipline forbids.
+            self.rebalancer.merge_section(cut_sec, thread_id)
 
         if self._cow_cache is not None:
             for v in gsrc.tolist():

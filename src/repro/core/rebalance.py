@@ -36,6 +36,7 @@ root-pointer update.
 
 from __future__ import annotations
 
+import threading
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -347,43 +348,107 @@ class Rebalancer:
     # ------------------------------------------------------------------
     # top-level operations
     # ------------------------------------------------------------------
+    def _window_lock_span(self, lo: int, hi: int) -> range:
+        ea = self.host.ea
+        S = ea.segment_slots
+        return range(lo // S, min((hi + S - 1) // S, ea.n_sections))
+
     def rebalance_window(self, lo_seg: int, hi_seg: int, level: int, thread_id: int = 0) -> None:
+        """Rebalance one density-tree window under its section locks.
+
+        §3.1.6 protocol: flag the window's sections, acquire every
+        section lock in ascending order (``begin_rebalance``), *then*
+        re-extend and gather — runs may have moved while waiting.  If
+        re-extension or escalation widens the window beyond the held
+        sections, all locks are dropped and the wider window is locked
+        from scratch (holding a partial window while acquiring more is
+        the out-of-order pattern the lock-discipline oracle rejects).
+        The caller must hold no section locks (writers defer rebalances
+        until after their release — see ``DGAP._insert_one``).
+        """
         host = self.host
         ea = host.ea
         S = ea.segment_slots
-        while True:
-            lo, hi = lo_seg * S, hi_seg * S
-            lo, hi, i0, j = self._extend(lo, hi)
-            if i0 == j:
-                return  # nothing but gaps in the window
-            g = self._gather(lo, hi, i0, j)
-            if g.total <= (hi - lo):
-                break
-            # window can't hold its own contents (boundary extension):
-            # escalate a level, or resize when already at the root.
-            if level >= ea.tree.height:
-                self.resize(thread_id)
-                return
-            level += 1
-            lo_seg, hi_seg = ea.tree.window_at(lo_seg, level)
+        locks = host.locks
+        held: List[int] = []
+        try:
+            while True:
+                if host.ea is not ea:
+                    # A concurrent resize swapped the generation while we
+                    # were waiting for locks: this trigger is obsolete —
+                    # the new layout was just rebalanced wholesale.
+                    return
+                lo, hi = lo_seg * S, hi_seg * S
+                lo, hi, i0, j = self._extend(lo, hi)
+                need = self._window_lock_span(lo, hi)
+                if not set(need) <= set(held):
+                    if held:
+                        locks.end_rebalance(held)
+                        held = []
+                    held = locks.begin_rebalance(need)
+                    continue  # re-extend now that the window is exclusive
+                if i0 == j:
+                    return  # nothing but gaps in the window
+                g = self._gather(lo, hi, i0, j)
+                if g.total <= (hi - lo):
+                    break
+                # window can't hold its own contents (boundary extension):
+                # escalate a level, or resize when already at the root.
+                if level >= ea.tree.height:
+                    locks.end_rebalance(held)
+                    held = []
+                    self.resize(thread_id)
+                    return
+                level += 1
+                lo_seg, hi_seg = ea.tree.window_at(lo_seg, level)
 
-        image, new_starts = self._plan(g)
-        self._execute(g.lo, g.hi, image, thread_id)
+            image, new_starts = self._plan(g)
+            self._execute(g.lo, g.hi, image, thread_id)
 
-        if host.config.use_undo_log:
-            ulog = host.ulogs[thread_id]
-            ulog.mark_done(g.lo, g.hi)
-            self._clears_by_window(g.lo, g.hi)
-            ulog.finish()
-        else:
-            self._clears_by_window(g.lo, g.hi)
-        self._apply_dram(g, new_starts)
-        ea.recount(g.lo, g.hi)
-        host.stats_note_rebalance(g.hi - g.lo)
-        host.note_rebalance_window(g.lo, g.hi)
+            if host.config.use_undo_log:
+                ulog = host.ulogs[thread_id]
+                ulog.mark_done(g.lo, g.hi)
+                self._clears_by_window(g.lo, g.hi)
+                ulog.finish()
+            else:
+                self._clears_by_window(g.lo, g.hi)
+            self._apply_dram(g, new_starts)
+            ea.recount(g.lo, g.hi)
+            host.stats_note_rebalance(g.hi - g.lo)
+            host.note_rebalance_window(g.lo, g.hi)
+        finally:
+            if held:
+                locks.end_rebalance(held)
 
     def resize(self, thread_id: int = 0) -> None:
-        """Copy-on-write generation switch to a (at least) doubled array."""
+        """Copy-on-write generation switch to a (at least) doubled array.
+
+        Runs under *full* exclusion: every section is flagged and locked
+        (``begin_rebalance`` over the whole table) before the gather, so
+        the quiescence assertion in ``SectionLockTable.resize`` — which
+        this thread reaches via ``stats_note_resize`` after the commit
+        point — holds by construction.  The lock-table swap releases the
+        old generation's locks itself, so ``end_rebalance`` only runs on
+        the early-exit (exception) path.  Callers must hold no section
+        locks (deadlock-freedom: a resize acquires everything).
+        """
+        host = self.host
+        locks = host.locks
+        held = locks.begin_rebalance(range(locks.n_sections))
+        try:
+            self._resize_locked(thread_id)
+            held = []  # locks.resize() already dropped the old-table holds
+        finally:
+            if held:
+                # Unwind only what this thread still holds: a failure
+                # *after* the lock-table swap already released everything.
+                me = threading.get_ident()
+                still = locks.held_sections()
+                mine = [s for s in held if still.get(s, (0, 0))[0] == me]
+                if mine:
+                    locks.end_rebalance(mine)
+
+    def _resize_locked(self, thread_id: int = 0) -> None:
         host = self.host
         ea, va = host.ea, host.va
         # Gather the whole array.

@@ -87,6 +87,11 @@ def open_from_pool(cls, pool: PMemPool, config: Optional[DGAPConfig] = None):
     host._active_snapshots = 0
     host.rebalancer = Rebalancer(host)
     host._init_view_tracking()
+    # Locks are DRAM-only: rebuilt from scratch (paper §3.1.6).  Built
+    # *before* replay so the rebalances recovery re-issues run under the
+    # same window-lock protocol as live ones; resized afterwards in case
+    # recovery itself switched generations.
+    host.locks = SectionLockTable(host.ea.n_sections)
 
     if pool.read_root(ROOT_SHUTDOWN) == 1:
         _normal_restart(host)
@@ -98,7 +103,8 @@ def open_from_pool(cls, pool: PMemPool, config: Optional[DGAPConfig] = None):
     host.op_rebalance_windows = []
     if cfg.cow_degree_cache:
         host._init_cow_cache()
-    host.locks = SectionLockTable(host.ea.n_sections)
+    if host.locks.n_sections != host.ea.n_sections:
+        host.locks.resize(host.ea.n_sections)
     pool.write_root(ROOT_SHUTDOWN, 0)
     return host
 

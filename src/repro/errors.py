@@ -91,6 +91,19 @@ class GraphError(ReproError):
     """Base class for graph-structure errors."""
 
 
+class LockDisciplineError(GraphError):
+    """The §3.1.6 lock protocol was violated (caught, not raced).
+
+    Raised eagerly by :class:`~repro.core.locks.SectionLockTable` when a
+    misuse is detectable at the call site — releasing a section that is
+    not held, or swapping the table (``resize``) while another thread
+    still holds a section lock.  Subtler violations (a writer slipping
+    into a flagged section, out-of-order window acquisition) are caught
+    after the fact by the lock-discipline oracle in
+    ``repro.testing.racecheck``.
+    """
+
+
 class VertexRangeError(GraphError):
     """A vertex id is outside the representable range."""
 

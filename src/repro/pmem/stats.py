@@ -95,15 +95,22 @@ class PMemStats:
         return cp
 
     def delta_since(self, before: "PMemStats") -> "PMemStats":
-        """Counters accumulated since ``before`` (a prior :meth:`snapshot`)."""
+        """Counters accumulated since ``before`` (a prior :meth:`snapshot`).
+
+        Buckets that did not move are dropped: a bucket key exists for
+        every phase the device ever saw, and zero-valued entries would
+        otherwise pollute per-phase tables and baseline JSON diffs with
+        every historical key.
+        """
         d = PMemStats()
         for k, v in self.__dict__.items():
             if k == "buckets":
                 continue
             setattr(d, k, v - getattr(before, k))
         d.buckets = {
-            k: self.buckets.get(k, 0.0) - before.buckets.get(k, 0.0)
+            k: dv
             for k in set(self.buckets) | set(before.buckets)
+            if (dv := self.buckets.get(k, 0.0) - before.buckets.get(k, 0.0)) != 0.0
         }
         return d
 
@@ -114,9 +121,11 @@ class PMemStats:
 
     def summary(self) -> str:
         wa = self.write_amplification()
+        mwa = self.media_write_amplification()
         return (
             f"stores={self.stores} stored={self.stored_bytes}B payload={self.payload_bytes}B "
-            f"WA={wa:.2f} flushes={self.flushes} (seq={self.seq_flushes} rnd={self.rnd_flushes} "
+            f"WA={wa:.2f} mediaWA={mwa:.2f} flushes={self.flushes} "
+            f"(seq={self.seq_flushes} rnd={self.rnd_flushes} "
             f"inplace={self.inplace_flushes}) media={self.media_bytes}B fences={self.fences} "
             f"modeled={self.modeled_seconds * 1e3:.3f}ms"
         )

@@ -1,7 +1,7 @@
-"""Reusable verification harnesses (crash sweeps, recovery oracles).
+"""Reusable verification harnesses (crash sweeps, race checks, oracles).
 
 Not imported by the library's runtime paths — this package backs the
-test suite and the ``--crash-sweep`` bench mode.
+test suite and the ``crash-sweep`` / ``race-check`` bench modes.
 """
 
 from .crashsweep import (
@@ -13,13 +13,59 @@ from .crashsweep import (
     make_insert_workload,
     verify_recovered_graph,
 )
+from .racecheck import (
+    EventRecorder,
+    InstrumentedSectionLockTable,
+    LockEvent,
+    RaceCheckConfig,
+    RaceCheckReport,
+    SCENARIOS,
+    ScenarioReport,
+    UnfixedSectionLockTable,
+    Violation,
+    check_lock_discipline,
+    events_from_tuples,
+    explore_scenario,
+    race_check,
+    run_scenario,
+)
+from .schedules import (
+    DeterministicScheduler,
+    ExplorationReport,
+    ScheduleDeadlock,
+    ScheduleError,
+    ScheduleTrace,
+    explore_schedules,
+    run_schedule,
+)
 
 __all__ = [
     "CrashPointResult",
+    "DeterministicScheduler",
+    "EventRecorder",
+    "ExplorationReport",
+    "InstrumentedSectionLockTable",
+    "LockEvent",
+    "RaceCheckConfig",
+    "RaceCheckReport",
+    "SCENARIOS",
+    "ScenarioReport",
+    "ScheduleDeadlock",
+    "ScheduleError",
+    "ScheduleTrace",
     "SweepConfig",
     "SweepFailure",
     "SweepReport",
+    "UnfixedSectionLockTable",
+    "Violation",
+    "check_lock_discipline",
     "crash_sweep",
+    "events_from_tuples",
+    "explore_scenario",
+    "explore_schedules",
     "make_insert_workload",
+    "race_check",
+    "run_schedule",
+    "run_scenario",
     "verify_recovered_graph",
 ]

@@ -1,0 +1,773 @@
+"""Lock-discipline race checker for the §3.1.6 concurrency protocol.
+
+Three pieces, mirroring the crash-sweep architecture (enumerate →
+replay → oracle):
+
+* :class:`InstrumentedSectionLockTable` — a drop-in
+  ``SectionLockTable`` that records every protocol event (acquire,
+  release, flag set/clear/wait, window lock/unlock, resize) with the
+  acting thread, and — when attached to a
+  :class:`~repro.testing.schedules.DeterministicScheduler` — yields at
+  every instrumentation boundary where no internal lock is held, so the
+  driver controls exactly where threads interleave.
+
+* :func:`check_lock_discipline` — the oracle.  It replays an event log
+  against the protocol rules and reports every violation: a writer
+  completing an acquire on a section flagged by a rebalance window
+  (the TOCTOU), two holders on one section (mutual exclusion lost —
+  the broken-resize symptom), out-of-order acquisition, flag-waiting
+  while holding a lock (the deadlock precondition), releases without a
+  matching acquire, lock-table resizes while another thread holds a
+  section, and flag clears by a thread that never set the flag.  The
+  oracle never inspects live lock state — only the log — so it works
+  identically on the fixed table, the deliberately-unfixed table, and
+  the virtual-thread scheduler's modeled event stream.
+
+* scenario drivers + :func:`race_check` — small real-``DGAP``
+  workloads (writer/writer, writer/rebalancer, writer/resize,
+  reader/writer) whose schedule space is explored exhaustively when it
+  fits the budget and by seeded sampling otherwise; every schedule is
+  oracle-checked AND the end state is validated (no lost edges,
+  structural invariants, degree caches consistent).
+
+:class:`UnfixedSectionLockTable` re-creates the two pre-fix bugs —
+check-then-act ``acquire`` and quiescence-free ``resize`` — so the
+regression tests can replay the historical interleavings and watch the
+oracle flag them; see ``tests/test_racecheck.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import DGAPConfig
+from ..core.dgap import DGAP
+from ..core.locks import SectionLockTable
+from ..errors import LockDisciplineError
+from .schedules import (
+    DeterministicScheduler,
+    ScheduleDeadlock,
+    ScheduleTrace,
+)
+
+# ----------------------------------------------------------------------
+# events + instrumented tables
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class LockEvent:
+    """One protocol event, attributed to a thread."""
+
+    seq: int
+    thread: str
+    kind: str
+    section: int
+    info: Dict = field(default_factory=dict)
+
+    def __str__(self) -> str:  # compact, for failure messages
+        sec = f" s{self.section}" if self.section >= 0 else ""
+        return f"[{self.seq}] {self.thread}: {self.kind}{sec}"
+
+
+class EventRecorder:
+    """Append-only event log shared by one table (and its scenario)."""
+
+    def __init__(self):
+        self.events: List[LockEvent] = []
+        self._names: Dict[int, str] = {}
+
+    def name_thread(self, name: str) -> None:
+        self._names[threading.get_ident()] = name
+
+    def thread_name(self, ident: int) -> str:
+        return self._names.get(ident, threading.current_thread().name)
+
+    def record(self, kind: str, section: int, info: Dict) -> LockEvent:
+        ev = LockEvent(
+            seq=len(self.events),
+            thread=self.thread_name(threading.get_ident()),
+            kind=kind,
+            section=section,
+            info=info,
+        )
+        self.events.append(ev)
+        return ev
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for ev in self.events:
+            out[ev.kind] = out.get(ev.kind, 0) + 1
+        return out
+
+
+#: trace kinds emitted with no internal lock held — the only points
+#: where the instrumented table may yield to the scheduler.  Everything
+#: else is recorded under ``_cond`` and yielding there would block the
+#: whole schedule on a real (non-cooperative) lock.
+_YIELD_SAFE_KINDS = frozenset({"lock-request", "window-request", "acquire-retry"})
+
+
+class InstrumentedSectionLockTable(SectionLockTable):
+    """Records every protocol event; optionally scheduler-driven.
+
+    With a scheduler attached, the blocking primitives become
+    cooperative: ``_lock_acquire`` try-locks in a yield loop (the
+    scheduler parks the thread until someone else makes progress) and
+    ``_cond_wait`` drops ``_cond``, yields, and re-acquires — so no
+    worker ever blocks for real and every interleaving is schedulable.
+    """
+
+    def __init__(
+        self,
+        n_sections: int,
+        recorder: Optional[EventRecorder] = None,
+        sched: Optional[DeterministicScheduler] = None,
+    ):
+        self.recorder = recorder if recorder is not None else EventRecorder()
+        self.sched = sched
+        super().__init__(n_sections)
+
+    def _trace(self, kind: str, section: int = -1, **info) -> None:
+        self.recorder.record(kind, section, info)
+        if self.sched is not None and kind in _YIELD_SAFE_KINDS:
+            self.sched.yield_point(f"{kind}:{section}")
+
+    def _lock_acquire(self, lock: threading.RLock, section: int) -> None:
+        if self.sched is None or self.sched.current_worker() is None:
+            lock.acquire()
+            return
+        while not lock.acquire(blocking=False):
+            self.sched.yield_point(
+                f"lock-blocked:{section}", blocked_on=("section", section)
+            )
+
+    def _cond_wait(self) -> None:
+        if self.sched is None or self.sched.current_worker() is None:
+            self._cond.wait()
+            return
+        # Cooperative flag wait: drop the condition lock (exactly what
+        # Condition.wait would do), park until another thread's step may
+        # have cleared a flag, re-take, and let the caller re-check.
+        self._cond.release()
+        try:
+            self.sched.yield_point("flag-blocked", blocked_on=("flag", -1))
+        finally:
+            self._cond.acquire()
+
+
+class UnfixedSectionLockTable(InstrumentedSectionLockTable):
+    """The pre-fix protocol, instrumented — for regression tests ONLY.
+
+    Reintroduces the two historical bugs this PR fixes:
+
+    * ``acquire`` checks the rebalance flag and *then* acquires the
+      lock with no re-check — the check-to-acquire gap lets a writer
+      slip into a section a ``begin_rebalance`` just claimed;
+    * ``resize`` swaps the lock/flag arrays wholesale with no
+      quiescence check — a current holder keeps an orphaned old lock
+      (mutual exclusion silently lost) and later releases into the
+      void.
+
+    Releases that would raise are recorded as ``release-void`` instead
+    so the racy run can complete and the oracle can judge the full log.
+    """
+
+    def acquire(self, section: int) -> None:
+        with self._cond:
+            while self._rebalancing[section]:
+                self._trace("flag-wait", section)
+                self._cond_wait()
+            lock = self._locks[section]
+        self._trace("lock-request", section)
+        self._lock_acquire(lock, section)
+        with self._cond:
+            self._note_acquire(section)
+            self._trace("acquire", section)
+
+    def acquire_many(self, sections) -> List[int]:
+        secs = sorted(set(int(s) for s in sections))
+        with self._cond:
+            while any(self._rebalancing[s] for s in secs):
+                self._trace("flag-wait", next(s for s in secs if self._rebalancing[s]))
+                self._cond_wait()
+            locks = [self._locks[s] for s in secs]
+        for s, lock in zip(secs, locks):
+            self._trace("lock-request", s)
+            self._lock_acquire(lock, s)
+        with self._cond:
+            for s in secs:
+                self._note_acquire(s)
+                self._trace("acquire", s)
+        return secs
+
+    def release(self, section: int) -> None:
+        with self._cond:
+            lock = self._locks[section]
+            owner, count = self._holds[section]
+            if count > 0 and owner == threading.get_ident():
+                self._note_release(section)
+                self._trace("release", section)
+            else:
+                self._trace("release-void", section)
+        try:
+            lock.release()
+        except RuntimeError:
+            pass  # released a lock it never held — the point of the demo
+
+    def resize(self, n_sections: int) -> None:
+        with self._cond:
+            self._build(n_sections)
+            self._trace("resize", -1, n_sections=n_sections)
+            self._cond.notify_all()
+
+
+# ----------------------------------------------------------------------
+# the oracle
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Violation:
+    """One protocol breach found in an event log."""
+
+    rule: str
+    index: int
+    thread: str
+    section: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.rule} @ event {self.index} ({self.thread}, s{self.section}): {self.message}"
+
+
+def check_lock_discipline(events: Sequence[LockEvent]) -> List[Violation]:
+    """Replay an event log against the §3.1.6 protocol rules.
+
+    Pure function of the log: tracks who holds what and who flagged
+    what, and emits a :class:`Violation` for every breach.  Rules:
+
+    ``acquire-while-flagged``
+        a *writer* acquire completed on a section whose rebalance flag
+        is up and was set by another thread — the TOCTOU.  (Window
+        locks are exempt: the flag-setter locking its own window is the
+        protocol.)
+    ``double-hold``
+        an acquire completed while another thread holds the section:
+        mutual exclusion itself failed (possible only once the lock
+        objects were swapped under a holder).
+    ``out-of-order``
+        a thread took a section lower than one it already holds —
+        breaks the ascending total order the deadlock-freedom argument
+        rests on.  Re-entrant re-acquires are exempt.
+    ``flag-wait-while-holding``
+        a thread waited on a rebalance flag while holding any section
+        lock — the other deadlock precondition.
+    ``release-without-acquire``
+        a release (or window unlock) by a thread with no matching hold.
+    ``resize-while-held``
+        the lock table was rebuilt while a thread other than the
+        resizer held a section.
+    ``flag-clear-by-non-setter``
+        a flag decrement by a thread with no outstanding set.
+    """
+    holds: Dict[int, Dict[str, int]] = {}
+    flags: Dict[int, Dict[str, int]] = {}
+    out: List[Violation] = []
+
+    def v(rule: str, ev: LockEvent, msg: str) -> None:
+        out.append(Violation(rule, ev.seq, ev.thread, ev.section, msg))
+
+    def held_by(t: str) -> List[int]:
+        return [s for s, m in holds.items() if m.get(t, 0) > 0]
+
+    for ev in events:
+        t, s, kind = ev.thread, ev.section, ev.kind
+        if kind in ("acquire", "window-lock"):
+            others = [o for o, c in holds.get(s, {}).items() if c > 0 and o != t]
+            if others:
+                v("double-hold", ev, f"also held by {others}")
+            if kind == "acquire":
+                setters = [o for o, c in flags.get(s, {}).items() if c > 0 and o != t]
+                if setters:
+                    v(
+                        "acquire-while-flagged", ev,
+                        f"section flagged for rebalance by {setters}",
+                    )
+            mine = holds.setdefault(s, {})
+            if mine.get(t, 0) == 0:
+                higher = [h for h in held_by(t) if h > s]
+                if higher:
+                    v("out-of-order", ev, f"already holds higher sections {higher}")
+            mine[t] = mine.get(t, 0) + 1
+        elif kind in ("release", "window-unlock"):
+            mine = holds.setdefault(s, {})
+            if mine.get(t, 0) <= 0:
+                v("release-without-acquire", ev, "no matching acquire")
+            else:
+                mine[t] -= 1
+        elif kind == "release-void":
+            v("release-without-acquire", ev, "released into a swapped table")
+        elif kind == "flag-set":
+            flags.setdefault(s, {})
+            flags[s][t] = flags[s].get(t, 0) + 1
+        elif kind == "flag-clear":
+            fl = flags.setdefault(s, {})
+            if fl.get(t, 0) <= 0:
+                v("flag-clear-by-non-setter", ev, "no outstanding flag-set")
+            else:
+                fl[t] -= 1
+        elif kind == "flag-wait":
+            held = held_by(t)
+            if held:
+                v("flag-wait-while-holding", ev, f"holds sections {held}")
+        elif kind == "resize":
+            foreign = sorted(
+                s2 for s2, m in holds.items()
+                for o, c in m.items() if c > 0 and o != t
+            )
+            if foreign:
+                v("resize-while-held", ev, f"sections {foreign} held by other threads")
+            # The table was rebuilt: all holds/flags refer to dead objects.
+            holds.clear()
+            flags.clear()
+    return out
+
+
+def events_from_tuples(tuples: Iterable[Tuple[str, str, int]]) -> List[LockEvent]:
+    """Adapt ``(kind, thread, section)`` streams (e.g. the virtual-thread
+    scheduler's modeled events) to the oracle's event type."""
+    return [
+        LockEvent(seq=i, thread=t, kind=k, section=s)
+        for i, (k, t, s) in enumerate(tuples)
+    ]
+
+
+# ----------------------------------------------------------------------
+# scenarios: small real-DGAP workloads under the scheduler
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ScenarioSpec:
+    """One fresh, instrumented case: workers + end-state validator."""
+
+    graph: DGAP
+    recorder: EventRecorder
+    workers: Dict[str, Callable[[], None]]
+    validate: Callable[[], None]
+
+
+#: builds a fresh ScenarioSpec wired to the given scheduler
+ScenarioBuilder = Callable[[DeterministicScheduler], ScenarioSpec]
+
+
+def _make_graph(nv: int = 8, init_edges: int = 2048) -> DGAP:
+    return DGAP(DGAPConfig(
+        init_vertices=nv, init_edges=init_edges,
+        segment_slots=64, thread_safe=True,
+    ))
+
+
+def instrument(
+    g: DGAP,
+    sched: Optional[DeterministicScheduler] = None,
+    table_cls: type = InstrumentedSectionLockTable,
+) -> EventRecorder:
+    """Swap ``g.locks`` for an instrumented table; returns its recorder."""
+    table = table_cls(g.ea.n_sections, sched=sched)
+    g.locks = table
+    return table.recorder
+
+
+def _op(sched: DeterministicScheduler) -> None:
+    """Operation-boundary yield point for scenario scripts."""
+    sched.yield_point("op")
+
+
+def _writer(g, sched, rec, name, edges, thread_id=0):
+    def run():
+        rec.name_thread(name)
+        for src, dst in edges:
+            g.insert_edge(src, dst, thread_id=thread_id)
+            _op(sched)
+    return run
+
+
+def _base_validate(g: DGAP, expect_edges: int):
+    def validate():
+        g.check_invariants()
+        got = g.num_edges
+        if got != expect_edges:
+            raise AssertionError(f"lost edges: expected {expect_edges}, have {got}")
+        # degree caches agree with the structure scan check_invariants did
+        deg = g.va.degrees()[: g.va.num_vertices]
+        if int(deg.sum()) < expect_edges:
+            raise AssertionError("degree cache undercounts inserted edges")
+    return validate
+
+
+def scenario_writer_writer(sched: DeterministicScheduler) -> ScenarioSpec:
+    """Two writers, disjoint sources in different sections."""
+    g = _make_graph()
+    rec = instrument(g, sched)
+    e_a = [(0, 1), (0, 2)]
+    e_b = [(7, 3), (7, 4)]
+    return ScenarioSpec(
+        graph=g, recorder=rec,
+        workers={
+            "writerA": _writer(g, sched, rec, "writerA", e_a, thread_id=0),
+            "writerB": _writer(g, sched, rec, "writerB", e_b, thread_id=1),
+        },
+        validate=_base_validate(g, len(e_a) + len(e_b)),
+    )
+
+
+def scenario_writer_writer_shared(sched: DeterministicScheduler) -> ScenarioSpec:
+    """Two writers hammering the same source vertex."""
+    g = _make_graph()
+    rec = instrument(g, sched)
+    e_a = [(3, 1), (3, 2)]
+    e_b = [(3, 5), (3, 6)]
+
+    def validate():
+        _base_validate(g, 4)()
+        got = sorted(int(x) for x in g.out_neighbors(3))
+        if got != [1, 2, 5, 6]:
+            raise AssertionError(f"adjacency of v3 wrong: {got}")
+
+    return ScenarioSpec(
+        graph=g, recorder=rec,
+        workers={
+            "writerA": _writer(g, sched, rec, "writerA", e_a, thread_id=0),
+            "writerB": _writer(g, sched, rec, "writerB", e_b, thread_id=1),
+        },
+        validate=validate,
+    )
+
+
+def scenario_writer_rebalancer(
+    sched: DeterministicScheduler,
+    table_cls: type = InstrumentedSectionLockTable,
+    writer_edges: int = 1,
+) -> ScenarioSpec:
+    """A writer inserting into the section a rebalance window claims.
+
+    This is the TOCTOU scenario: the rebalancer flags and locks the
+    writer's section while the writer sits in its check-to-acquire gap.
+    With ``table_cls=UnfixedSectionLockTable`` the historical race is
+    replayable (see the regression tests).
+    """
+    g = _make_graph()
+    # pre-load vertex 0's run so the merge has material to move
+    for i in range(6):
+        g.insert_edge(0, i + 1)
+    rec = instrument(g, sched, table_cls=table_cls)
+    sec = int(g.ea.section_of(int(g.va.start[0])))
+    edges = [(0, 10 + k) for k in range(writer_edges)]
+
+    def rebalancer():
+        rec.name_thread("rebal")
+        g.rebalancer.merge_section(sec, thread_id=1)
+        _op(sched)
+
+    n0 = g.num_edges
+    return ScenarioSpec(
+        graph=g, recorder=rec,
+        workers={
+            "writer": _writer(g, sched, rec, "writer", edges, thread_id=0),
+            "rebal": rebalancer,
+        },
+        validate=_base_validate(g, n0 + len(edges)),
+    )
+
+
+def scenario_writer_resize(sched: DeterministicScheduler) -> ScenarioSpec:
+    """A writer racing a full edge-array resize (generation switch)."""
+    g = _make_graph()
+    for i in range(4):
+        g.insert_edge(1, i + 2)
+    rec = instrument(g, sched)
+    edges = [(6, 1), (6, 2)]
+
+    def resizer():
+        rec.name_thread("resizer")
+        g.rebalancer.resize(thread_id=1)
+        _op(sched)
+
+    n0 = g.num_edges
+    return ScenarioSpec(
+        graph=g, recorder=rec,
+        workers={
+            "writer": _writer(g, sched, rec, "writer", edges, thread_id=0),
+            "resizer": resizer,
+        },
+        validate=_base_validate(g, n0 + len(edges)),
+    )
+
+
+def scenario_reader_writer(sched: DeterministicScheduler) -> ScenarioSpec:
+    """Analysis snapshots taken while a writer appends to one vertex."""
+    g = _make_graph()
+    rec = instrument(g, sched)
+    edges = [(2, d) for d in (1, 3, 4)]
+    seen: List[Tuple[int, int]] = []
+
+    def reader():
+        rec.name_thread("reader")
+        for _ in range(3):
+            with g.consistent_view() as view:
+                d = view.out_degree(2)
+                # let the writer mutate between the degree read and the
+                # adjacency materialization — the snapshot must not care
+                sched.yield_point("mid-view")
+                n = len(view.out_neighbors(2))
+                seen.append((d, n))
+            _op(sched)
+
+    def validate():
+        _base_validate(g, len(edges))()
+        for d, n in seen:
+            if d != n:
+                raise AssertionError(f"snapshot degree {d} != materialized {n}")
+        degs = [d for d, _ in seen]
+        if degs != sorted(degs):
+            raise AssertionError(f"snapshot degrees went backwards: {degs}")
+
+    return ScenarioSpec(
+        graph=g, recorder=rec,
+        workers={
+            "writer": _writer(g, sched, rec, "writer", edges, thread_id=0),
+            "reader": reader,
+        },
+        validate=validate,
+    )
+
+
+SCENARIOS: Dict[str, ScenarioBuilder] = {
+    "writer-writer": scenario_writer_writer,
+    "writer-writer-shared": scenario_writer_writer_shared,
+    "writer-rebalancer": scenario_writer_rebalancer,
+    "writer-resize": scenario_writer_resize,
+    "reader-writer": scenario_reader_writer,
+}
+
+
+# ----------------------------------------------------------------------
+# driving scenarios through schedules
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ScheduleOutcome:
+    """One scenario run under one schedule, fully judged."""
+
+    trace: ScheduleTrace
+    events: List[LockEvent]
+    violations: List[Violation]
+    error: Optional[str] = None
+    deadlocked: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations and self.error is None and not self.deadlocked
+
+
+def run_scenario(
+    build: ScenarioBuilder,
+    prefix: Sequence[str] = (),
+    rng: Optional[np.random.Generator] = None,
+) -> ScheduleOutcome:
+    """One fresh scenario instance under one schedule, oracle-checked."""
+    sched = DeterministicScheduler()
+    spec = build(sched)
+    for name, fn in spec.workers.items():
+        sched.spawn(name, fn)
+    deadlocked = False
+    try:
+        trace = sched.run(prefix=prefix, rng=rng)
+    except ScheduleDeadlock as exc:
+        trace = exc.partial
+        deadlocked = True
+    error = None
+    if deadlocked:
+        error = "deadlock: every live worker blocked"
+    for name, exc in trace.errors.items():
+        error = f"worker {name!r} raised {type(exc).__name__}: {exc}"
+        break
+    violations = check_lock_discipline(spec.recorder.events)
+    if error is None and not deadlocked:
+        try:
+            spec.validate()
+        except Exception as exc:  # noqa: BLE001 - judged, not hidden
+            error = f"validate: {exc}"
+    return ScheduleOutcome(
+        trace=trace,
+        events=spec.recorder.events,
+        violations=violations,
+        error=error,
+        deadlocked=deadlocked,
+    )
+
+
+def explore_scenario(
+    build: ScenarioBuilder,
+    max_schedules: int = 150,
+    seed: int = 0,
+) -> Tuple[List[ScheduleOutcome], bool]:
+    """DFS over a scenario's grant choices; seeded sampling past budget.
+
+    Returns every outcome plus whether the branch frontier emptied
+    (schedule space exhausted).  Same shape as the crash sweep:
+    exhaustive below the budget, sampled above it.
+    """
+    outcomes: List[ScheduleOutcome] = []
+    frontier: List[List[str]] = [[]]
+    seen: set = set()
+    while frontier and len(outcomes) < max_schedules:
+        prefix = frontier.pop()
+        out = run_scenario(build, prefix=prefix)
+        outcomes.append(out)
+        for i in range(len(prefix), len(out.trace.decisions)):
+            d = out.trace.decisions[i]
+            for alt in d.candidates:
+                if alt != d.chosen:
+                    branch = out.trace.trace[:i] + [alt]
+                    key = tuple(branch)
+                    if key not in seen:
+                        seen.add(key)
+                        frontier.append(branch)
+    exhaustive = not frontier
+    rng = np.random.default_rng(seed)
+    while len(outcomes) < max_schedules and not exhaustive:
+        outcomes.append(run_scenario(build, rng=rng))
+    return outcomes, exhaustive
+
+
+# ----------------------------------------------------------------------
+# the sweep driver (bench `race-check` + CI smoke)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class RaceCheckConfig:
+    """Budget knobs for :func:`race_check` (mirrors ``SweepConfig``)."""
+
+    max_schedules: int = 120
+    seed: int = 0
+    scenarios: Optional[List[str]] = None  # None = all
+
+
+@dataclass
+class ScenarioReport:
+    name: str
+    schedules: int = 0
+    exhaustive: bool = False
+    decision_points: int = 0
+    events: int = 0
+    violations: int = 0
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.violations == 0 and not self.failures
+
+
+@dataclass
+class RaceCheckReport:
+    """Coverage + verdicts across all scenarios."""
+
+    scenarios: List[ScenarioReport] = field(default_factory=list)
+
+    @property
+    def schedules(self) -> int:
+        return sum(s.schedules for s in self.scenarios)
+
+    @property
+    def violations(self) -> int:
+        return sum(s.violations for s in self.scenarios)
+
+    @property
+    def failures(self) -> List[str]:
+        return [f for s in self.scenarios for f in s.failures]
+
+    @property
+    def ok(self) -> bool:
+        return all(s.ok for s in self.scenarios)
+
+
+def race_check(config: Optional[RaceCheckConfig] = None) -> RaceCheckReport:
+    """Explore every scenario's schedule space and judge every run."""
+    cfg = config or RaceCheckConfig()
+    names = cfg.scenarios or list(SCENARIOS)
+    report = RaceCheckReport()
+    for name in names:
+        build = SCENARIOS[name]
+        sr = ScenarioReport(name=name)
+        outcomes, sr.exhaustive = explore_scenario(
+            build, max_schedules=cfg.max_schedules, seed=cfg.seed
+        )
+        sr.schedules = len(outcomes)
+        for out in outcomes:
+            sr.decision_points += len(out.trace.decisions)
+            sr.events += len(out.events)
+            sr.violations += len(out.violations)
+            if out.violations:
+                sr.failures.append(
+                    f"{name} schedule {out.trace.trace}: "
+                    + "; ".join(str(v) for v in out.violations[:3])
+                )
+            elif out.error is not None:
+                sr.failures.append(f"{name} schedule {out.trace.trace}: {out.error}")
+        report.scenarios.append(sr)
+    return report
+
+
+def dry_run(scenario: Optional[str] = None) -> Dict[str, Dict[str, int]]:
+    """One default-schedule run per scenario: event counts by kind.
+
+    The race-check analogue of the crash sweep's dry-run mode — shows
+    how many instrumentation events (≈ interleaving points) each
+    scenario produces, before committing to a full exploration.
+    """
+    names = [scenario] if scenario else list(SCENARIOS)
+    out: Dict[str, Dict[str, int]] = {}
+    for name in names:
+        result = run_scenario(SCENARIOS[name])
+        if result.error or result.violations:
+            raise LockDisciplineError(
+                f"dry run of {name!r} not clean: error={result.error} "
+                f"violations={[str(v) for v in result.violations]}"
+            )
+        counts = {}
+        for ev in result.events:
+            counts[ev.kind] = counts.get(ev.kind, 0) + 1
+        counts["decision-points"] = len(result.trace.decisions)
+        out[name] = counts
+    return out
+
+
+__all__ = [
+    "EventRecorder",
+    "InstrumentedSectionLockTable",
+    "LockEvent",
+    "RaceCheckConfig",
+    "RaceCheckReport",
+    "SCENARIOS",
+    "ScenarioReport",
+    "ScenarioSpec",
+    "ScheduleOutcome",
+    "UnfixedSectionLockTable",
+    "Violation",
+    "check_lock_discipline",
+    "dry_run",
+    "events_from_tuples",
+    "explore_scenario",
+    "instrument",
+    "race_check",
+    "run_scenario",
+]

@@ -59,7 +59,7 @@ class VThreadResult:
 class VirtualThreadScheduler:
     """Replay a stream over one DGAP instance with per-thread clocks."""
 
-    def __init__(self, graph: DGAP, n_threads: int):
+    def __init__(self, graph: DGAP, n_threads: int, record_events: bool = False):
         if n_threads < 1:
             raise ValueError("need at least one virtual thread")
         self.graph = graph
@@ -69,7 +69,17 @@ class VirtualThreadScheduler:
         self.lock_wait_ns = 0.0
         #: ns at which each section's lock becomes free
         self.section_free: Dict[int, float] = {}
+        #: with ``record_events``, the modeled lock-protocol event stream
+        #: as ``(kind, thread, section)`` tuples — feed through
+        #: ``repro.testing.racecheck.events_from_tuples`` to run the same
+        #: lock-discipline oracle the real-thread racecheck uses.
+        self.record_events = record_events
+        self.events: List[Tuple[str, str, int]] = []
         graph.track_rebalance_windows = True
+
+    def _note(self, kind: str, tid: int, section: int) -> None:
+        if self.record_events:
+            self.events.append((kind, f"vt{tid}", section))
 
     # -- scheduling ------------------------------------------------------
     def _acquire(self, tid: int, sections: Iterable[int]) -> float:
@@ -107,14 +117,31 @@ class VirtualThreadScheduler:
             g.insert_edge(src, dst)
             op_ns = dev.stats.modeled_ns - ns0
 
-            # a triggered rebalance holds its whole window (ordered
-            # multi-lock), so extend the wait to any busy window section
+            # A triggered rebalance holds its whole window.  The real
+            # protocol *defers* it: the writer drops its section lock,
+            # then the rebalance flags the window and acquires every
+            # section in ascending order (never an upgrade while
+            # holding).  ``_acquire`` only advances a clock, so the
+            # modeled wait is the same either way; the recorded event
+            # stream follows the deferred order so the lock-discipline
+            # oracle accepts it.
             touched = {sec}
             S = g.ea.segment_slots
             for lo, hi in g.op_rebalance_windows:
                 touched.update(range(lo // S, min((hi + S - 1) // S, g.ea.n_sections)))
+            self._note("acquire", tid, sec)
+            self._note("release", tid, sec)
             if len(touched) > 1:
                 start = max(start, self._acquire(tid, touched))
+                win = sorted(touched)
+                for s in win:
+                    self._note("flag-set", tid, s)
+                for s in win:
+                    self._note("window-lock", tid, s)
+                for s in reversed(win):
+                    self._note("window-unlock", tid, s)
+                for s in win:
+                    self._note("flag-clear", tid, s)
 
             end = start + op_ns
             self.clock[tid] = end

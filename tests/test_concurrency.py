@@ -14,6 +14,7 @@ import pytest
 
 from repro import DGAP, DGAPConfig
 from repro.core.locks import SectionLockTable
+from repro.errors import LockDisciplineError
 
 
 class TestSectionLockTable:
@@ -57,6 +58,72 @@ class TestSectionLockTable:
         assert t.n_sections == 8
         with t.locked(7):
             pass
+
+    def test_resize_requires_quiescence(self):
+        """A table swap while another thread holds a section must raise,
+        not orphan the holder's lock (the pre-fix resize bug)."""
+        t = SectionLockTable(4)
+        holding = threading.Event()
+        done = threading.Event()
+
+        def holder():
+            t.acquire(1)
+            holding.set()
+            done.wait(5)
+            t.release(1)
+
+        th = threading.Thread(target=holder)
+        th.start()
+        assert holding.wait(2)
+        with pytest.raises(LockDisciplineError):
+            t.resize(8)
+        done.set()
+        th.join(timeout=2)
+        # quiescent now: the same resize succeeds
+        t.resize(8)
+        assert t.n_sections == 8
+
+    def test_resize_by_sole_holder_releases_and_swaps(self):
+        """The resize path holds every section itself; its own holds are
+        legal and the new table comes up free."""
+        t = SectionLockTable(2)
+        secs = t.begin_rebalance([0, 1])
+        assert secs == [0, 1]
+        t.resize(4)
+        assert t.n_sections == 4
+        assert t.held_sections() == {}
+        with t.locked(3):
+            pass
+
+    def test_release_without_acquire_raises(self):
+        t = SectionLockTable(4)
+        with pytest.raises(LockDisciplineError):
+            t.release(2)
+
+    def test_acquire_rechecks_flag_after_winning_lock(self):
+        """TOCTOU regression (real threads): a writer that passes the
+        flag check before ``begin_rebalance`` flags the section must NOT
+        end up inside the window — it backs off and waits.  Replayed
+        deterministically in tests/test_racecheck.py; here the fixed
+        table is hammered with the adversarial timing for good measure."""
+        t = SectionLockTable(2)
+        inside = []
+
+        secs = t.begin_rebalance([0])
+
+        def writer():
+            t.acquire(0)  # must block until end_rebalance
+            owner, count = t.holder(0)
+            inside.append((owner, count))
+            t.release(0)
+
+        th = threading.Thread(target=writer)
+        th.start()
+        th.join(timeout=0.2)
+        assert inside == []  # writer held out of the claimed window
+        t.end_rebalance(secs)
+        th.join(timeout=2)
+        assert len(inside) == 1 and inside[0][1] == 1
 
 
 class TestConcurrentWriters:
