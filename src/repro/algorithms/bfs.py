@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.view import BaseGraphView
+from ..obs.tracer import kernel_span
 from .common import gather_edges
 
 _BFS_SERIAL = 0.03
@@ -24,6 +25,16 @@ def bfs(
     source: int = 0,
     alpha: int = 15,
     beta: int = 18,
+) -> np.ndarray:
+    with kernel_span("bfs", view):
+        return _bfs(view, source, alpha, beta)
+
+
+def _bfs(
+    view: BaseGraphView,
+    source: int,
+    alpha: int,
+    beta: int,
 ) -> np.ndarray:
     nv = view.num_vertices
     out_indptr, out_dsts = view.out_csr()

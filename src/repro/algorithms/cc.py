@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.view import BaseGraphView
+from ..obs.tracer import kernel_span
 
 #: the modeled scheduling bottleneck (gives ~4-6x speedup at 16 threads,
 #: matching Table 4 across systems).
@@ -23,6 +24,11 @@ _CC_SERIAL = 0.12
 
 def connected_components(view: BaseGraphView, max_rounds: int = 64) -> np.ndarray:
     """|V|-sized array of component labels (the minimum vertex id reachable)."""
+    with kernel_span("cc", view):
+        return _connected_components(view, max_rounds)
+
+
+def _connected_components(view: BaseGraphView, max_rounds: int) -> np.ndarray:
     nv = view.num_vertices
     _, dsts = view.out_csr()
     srcs = view.out_src_ids()  # intp, cached across kernels

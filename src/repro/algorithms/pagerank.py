@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.view import BaseGraphView
+from ..obs.tracer import kernel_span
 
 #: PR touches every edge every iteration but has near-perfect parallel
 #: structure; the small serial part is the convergence reduction.
@@ -24,6 +25,15 @@ def pagerank(
     damping: float = 0.85,
 ) -> np.ndarray:
     """|V|-sized array of ranks after ``iterations`` sweeps."""
+    with kernel_span("pr", view):
+        return _pagerank(view, iterations, damping)
+
+
+def _pagerank(
+    view: BaseGraphView,
+    iterations: int,
+    damping: float,
+) -> np.ndarray:
     nv = view.num_vertices
     in_indptr, in_srcs = view.in_csr()
     out_deg = view.out_degrees().astype(np.float64)

@@ -44,6 +44,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from ..nputil import multi_arange
+from ..obs.tracer import annotate, trace
 from .view import ID_DTYPE, INDPTR_DTYPE, build_in_csr
 
 #: stale-vertex share above which patching loses to a from-scratch
@@ -108,27 +109,32 @@ class DGAPViewCache:
         g = self.graph
         epoch = int(g.structure_epoch)
         nv = snap.num_vertices
-        if self._out is None:
-            out, inn = self._full_build(snap, nv)
-        else:
-            dirty = g.sections_dirty_since(self._epoch)
-            stale = self._stale_vertices(dirty, nv)
-            n_stale = int(stale.sum())
-            if n_stale == 0 and nv == self._nv:
-                # Epoch moved but nothing a view can observe changed.
-                out, inn = self._out, self._in
-                self.stats.incremental_builds += 1
-                self.stats.rows_reused += nv
-            elif n_stale >= FULL_REBUILD_STALE_FRACTION * nv:
+        with trace("view_materialize"):
+            if self._out is None:
+                annotate(mode="full")
                 out, inn = self._full_build(snap, nv)
             else:
-                self.stats.incremental_builds += 1
-                self.stats.sections_rebuilt += int(np.count_nonzero(dirty))
-                self.stats.vertices_rebuilt += n_stale
-                self.stats.rows_reused += nv - n_stale
-                stale_vids = np.flatnonzero(stale)
-                out, s_counts, s_dsts = self._patch_out(snap, nv, stale, stale_vids)
-                inn = self._merge_in(nv, stale, stale_vids, s_counts, s_dsts)
+                dirty = g.sections_dirty_since(self._epoch)
+                stale = self._stale_vertices(dirty, nv)
+                n_stale = int(stale.sum())
+                if n_stale == 0 and nv == self._nv:
+                    # Epoch moved but nothing a view can observe changed.
+                    annotate(mode="reuse")
+                    out, inn = self._out, self._in
+                    self.stats.incremental_builds += 1
+                    self.stats.rows_reused += nv
+                elif n_stale >= FULL_REBUILD_STALE_FRACTION * nv:
+                    annotate(mode="full")
+                    out, inn = self._full_build(snap, nv)
+                else:
+                    annotate(mode="incremental", stale_vertices=n_stale)
+                    self.stats.incremental_builds += 1
+                    self.stats.sections_rebuilt += int(np.count_nonzero(dirty))
+                    self.stats.vertices_rebuilt += n_stale
+                    self.stats.rows_reused += nv - n_stale
+                    stale_vids = np.flatnonzero(stale)
+                    out, s_counts, s_dsts = self._patch_out(snap, nv, stale, stale_vids)
+                    inn = self._merge_in(nv, stale, stale_vids, s_counts, s_dsts)
         self._out, self._in = out, inn
         self._epoch, self._nv = epoch, nv
         return out, inn

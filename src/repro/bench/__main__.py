@@ -29,6 +29,7 @@ from .reporting import (
     crash_sweep_table,
     format_table,
     ingest_phase_table,
+    profile_table,
 )
 
 SYSTEM_ORDER = ("dgap", "bal", "llama", "graphone", "xpgraph")
@@ -150,6 +151,42 @@ def cmd_recovery(args) -> None:
         [("normal restart", normal), ("crash recovery", crash)],
         floatfmt="{:.3f}",
     ))
+
+
+def cmd_profile(args) -> None:
+    from ..obs import write_chrome_trace
+    from .profile import check_attribution, check_chrome_trace, run_profile
+
+    tracer = run_profile(
+        args.experiment,
+        args.dataset,
+        args.scale,
+        _batch_size(args),
+        device_ops=args.device_ops,
+    )
+    print(profile_table(
+        tracer,
+        title=(
+            f"profile {args.experiment} — {args.dataset} "
+            f"(scale {args.scale:g}): per-phase self attribution"
+        ),
+    ))
+    print(f"spans recorded: {tracer.span_count()}")
+    failures = []
+    if args.check:
+        failures += check_attribution(tracer)
+    if args.trace_out:
+        n = write_chrome_trace(tracer, args.trace_out)
+        print(f"wrote {n} Chrome trace events to {args.trace_out}")
+        if args.check:
+            failures += check_chrome_trace(args.trace_out)
+    if failures:
+        raise SystemExit("profile checks failed:\n" + "\n".join(
+            f"  {f}" for f in failures
+        ))
+    if args.check:
+        print("attribution checks passed: per-phase modeled ns and counters "
+              "sum exactly to the device totals")
 
 
 _SWEEP_POLICIES = ("default", "torn", "reorder", "adversarial")
@@ -280,6 +317,25 @@ def main(argv=None) -> int:
     p.add_argument("--scale", type=float, default=0.5)
     add_batch_size(p)
     p.set_defaults(fn=cmd_recovery)
+
+    p = sub.add_parser(
+        "profile",
+        help="traced run: per-phase modeled-time attribution (+ Chrome trace)",
+    )
+    from .profile import PROFILE_EXPERIMENTS
+
+    p.add_argument("experiment", choices=PROFILE_EXPERIMENTS)
+    p.add_argument("--dataset", choices=sorted(DATASETS), default="orkut")
+    p.add_argument("--scale", type=float, default=0.1)
+    add_batch_size(p)
+    p.add_argument("--trace-out", default="",
+                   help="write Chrome trace-event JSON here (open in Perfetto)")
+    p.add_argument("--device-ops", action="store_true",
+                   help="also record every device primitive as a trace event")
+    p.add_argument("--check", action="store_true",
+                   help="verify attribution exactness and trace validity; "
+                        "exit nonzero on failure")
+    p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser(
         "crash-sweep",

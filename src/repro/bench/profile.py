@@ -1,0 +1,184 @@
+"""``python -m repro.bench profile`` — traced runs with per-phase attribution.
+
+Each experiment builds the workload, installs a :class:`~repro.obs.Tracer`
+on the system's device stats around the phase of interest, and returns
+the tracer for the CLI to render (``profile_table``) and optionally
+export (``--trace-out`` Chrome trace-event JSON).
+
+``check_attribution`` is the acceptance gate used by ``--check`` and the
+CI ``profile-smoke`` job: per-phase self modeled-ns must sum to the
+run's total (float rounding only), and the integer counters must sum
+exactly — no double-counting, no leaks.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional, Tuple
+
+from .. import DGAP, DGAPConfig
+from ..baselines import SYSTEMS
+from ..datasets import get_dataset
+from ..obs import INT_COUNTER_FIELDS, Tracer, aggregate_phases, tracing
+from .harness import pick_source, run_kernel
+
+PROFILE_EXPERIMENTS = ("insert", "recovery", "analysis")
+
+
+def profile_insert(
+    dataset: str,
+    scale: float,
+    batch_size: Optional[int],
+    *,
+    device_ops: bool = False,
+) -> Tracer:
+    """Trace a full ingest of the dataset stream into a fresh DGAP."""
+    spec = get_dataset(dataset)
+    edges = spec.generate(scale)
+    nv, _ = spec.sizes(scale)
+    g = DGAP(DGAPConfig(init_vertices=nv, init_edges=edges.shape[0]))
+    tracer = Tracer(g.pool.stats, device_ops=device_ops)
+    with tracing(tracer):
+        g.insert_edges(edges, batch_size=batch_size)
+    return tracer
+
+
+def profile_recovery(
+    dataset: str,
+    scale: float,
+    batch_size: Optional[int],
+    *,
+    device_ops: bool = False,
+) -> Tracer:
+    """Ingest untraced, crash the pool, then trace the recovery path."""
+    spec = get_dataset(dataset)
+    edges = spec.generate(scale)
+    nv, _ = spec.sizes(scale)
+    g = DGAP(DGAPConfig(init_vertices=nv, init_edges=edges.shape[0]))
+    g.insert_edges(edges, batch_size=batch_size)
+    g.pool.crash()
+    tracer = Tracer(g.pool.stats, device_ops=device_ops)
+    with tracing(tracer):
+        DGAP.open(g.pool, g.config)
+    return tracer
+
+
+def profile_analysis(
+    dataset: str,
+    scale: float,
+    batch_size: Optional[int],
+    *,
+    device_ops: bool = False,
+) -> Tracer:
+    """Ingest untraced, then trace view materialization + all four kernels.
+
+    Kernels charge the analysis clock rather than device stats, so their
+    spans mostly carry wall time and ``analysis_*_ns`` attributes; the
+    device-side cost shows up in the ``view_materialize``/``to_csr``
+    spans.
+    """
+    spec = get_dataset(dataset)
+    edges = spec.generate(scale)
+    nv, _ = spec.sizes(scale)
+    system = SYSTEMS["dgap"](nv, edges.shape[0])
+    system.insert_batch(edges)
+    src = pick_source(dataset, scale)
+    tracer = Tracer(system.graph.pool.stats, device_ops=device_ops)
+    with tracing(tracer):
+        view = system.analysis_view()
+        for kernel in ("pr", "bfs", "cc", "bc"):
+            run_kernel(view, kernel, source=src)
+    return tracer
+
+
+_RUNNERS = {
+    "insert": profile_insert,
+    "recovery": profile_recovery,
+    "analysis": profile_analysis,
+}
+
+
+def run_profile(
+    experiment: str,
+    dataset: str,
+    scale: float,
+    batch_size: Optional[int],
+    *,
+    device_ops: bool = False,
+) -> Tracer:
+    try:
+        runner = _RUNNERS[experiment]
+    except KeyError:
+        raise SystemExit(
+            f"unknown profile experiment {experiment!r}; "
+            f"have {sorted(_RUNNERS)}"
+        ) from None
+    return runner(dataset, scale, batch_size, device_ops=device_ops)
+
+
+# -- acceptance checks (CI profile-smoke + --check) ------------------------
+
+def check_attribution(tracer: Tracer) -> List[str]:
+    """Return human-readable failures; empty list = attribution is exact."""
+    failures: List[str] = []
+    total = tracer.total_delta()
+    if total is None:
+        return ["tracer has no stats; nothing to check"]
+    rows, untraced = aggregate_phases(tracer)
+    if not rows:
+        failures.append("no spans were recorded")
+        return failures
+
+    modeled = sum(r.modeled_ns for r in rows) + untraced.modeled_ns
+    tol = max(1e-6 * abs(total.modeled_ns), 1e-3)
+    if abs(modeled - total.modeled_ns) > tol:
+        failures.append(
+            f"modeled-ns attribution leak: phases sum to {modeled}, "
+            f"device total is {total.modeled_ns}"
+        )
+    for field in INT_COUNTER_FIELDS:
+        got = sum(r.counters[field] for r in rows) + untraced.counters[field]
+        want = getattr(total, field)
+        if got != want:
+            failures.append(
+                f"counter {field!r} attribution leak: phases sum to {got}, "
+                f"device total is {want}"
+            )
+    if untraced.modeled_ns < -tol:
+        failures.append(
+            f"(untraced) modeled ns is negative ({untraced.modeled_ns}): "
+            "root spans overlap or double-count"
+        )
+    return failures
+
+
+def check_chrome_trace(path: str) -> List[str]:
+    """Validate the written file is loadable Chrome trace-event JSON."""
+    failures: List[str] = []
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as e:
+        return [f"trace file {path!r} is not readable JSON: {e}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return [f"trace file {path!r} has no traceEvents array"]
+    for i, ev in enumerate(events):
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                failures.append(f"event {i} missing {key!r}")
+                break
+        if ev.get("ph") == "X" and (ev.get("dur", -1) < 0 or ev.get("ts", -1) < 0):
+            failures.append(f"event {i} ({ev.get('name')}) has bad ts/dur")
+    return failures
+
+
+__all__ = [
+    "PROFILE_EXPERIMENTS",
+    "run_profile",
+    "profile_insert",
+    "profile_recovery",
+    "profile_analysis",
+    "check_attribution",
+    "check_chrome_trace",
+]

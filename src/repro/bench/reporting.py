@@ -184,6 +184,63 @@ def race_check_dry_table(counts, title: str = "race check (dry run)") -> str:
     return format_table(title, ["scenario"] + kinds + ["decisions"], rows)
 
 
+def profile_table(tracer, title: str = "profile") -> str:
+    """Per-phase attribution table for a :class:`~repro.obs.Tracer`.
+
+    One row per span name with *self* attribution (each span's counter
+    delta minus its children's), plus an ``(untraced)`` row for device
+    activity outside every root span and a ``total`` row from
+    ``tracer.total_delta()``.  Self deltas partition the traced
+    interval, so the modeled-ms column sums to the total row within
+    float rounding and the integer columns sum exactly.
+    """
+    from ..obs import aggregate_phases
+
+    rows_in, untraced = aggregate_phases(tracer)
+    total = tracer.total_delta()
+    total_ns = total.modeled_ns if total is not None else 0.0
+
+    def fmt(name, count, modeled_ns, wall_ns, counters, wa):
+        share = 100.0 * modeled_ns / total_ns if total_ns else 0.0
+        return (
+            name,
+            count,
+            modeled_ns * 1e-6,
+            share,
+            wall_ns * 1e-6,
+            counters["stores"],
+            counters["flushes"],
+            counters["fences"],
+            counters["media_bytes"] // 1024,
+            wa,
+        )
+
+    rows = [
+        fmt(r.name, r.count, r.modeled_ns, r.wall_ns, r.counters,
+            r.write_amplification())
+        for r in rows_in
+    ]
+    if untraced is not None:
+        rows.append(fmt(
+            untraced.name, "-", untraced.modeled_ns, untraced.wall_ns,
+            untraced.counters, untraced.write_amplification(),
+        ))
+    if total is not None:
+        rows.append(fmt(
+            "total", "-", total.modeled_ns, 0,
+            {k: getattr(total, k)
+             for k in ("stores", "flushes", "fences", "media_bytes")},
+            total.write_amplification(),
+        ))
+    return format_table(
+        title,
+        ["phase", "spans", "modeled (ms)", "%", "self wall (ms)",
+         "stores", "flushes", "fences", "media (KiB)", "WA"],
+        rows,
+        floatfmt="{:.3f}",
+    )
+
+
 #: tables collected during a benchmark session; pytest's capture swallows
 #: per-test stdout of passing tests, so the benchmarks' conftest flushes
 #: this registry in ``pytest_terminal_summary`` — that is how every table
@@ -209,6 +266,7 @@ __all__ = [
     "ingest_phase_table",
     "analysis_loop_table",
     "crash_sweep_table",
+    "profile_table",
     "race_check_table",
     "race_check_dry_table",
     "emit",

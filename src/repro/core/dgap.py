@@ -38,6 +38,7 @@ from .edge_array import EdgeArray
 from .edge_log import EdgeLogs
 from .encoding import MAX_VERTEX, SLOT_DTYPE, encode_edge, encode_pivot
 from .locks import SectionLockTable
+from ..obs.tracer import trace
 from .pma_tree import DensityBounds
 from ..nputil import multi_arange as _multi_arange
 from .rebalance import (
@@ -245,6 +246,13 @@ class DGAP:
         if v > MAX_VERTEX:
             raise VertexRangeError(f"vertex {v} exceeds encodable maximum {MAX_VERTEX}")
         va = self.va
+        if va.num_vertices > v:
+            return
+        with trace("insert_vertex", v=v):
+            self._insert_vertex_traced(v)
+
+    def _insert_vertex_traced(self, v: int) -> None:
+        va = self.va
         locked = self.config.thread_safe
         while va.num_vertices <= v:
             u = va.num_vertices
@@ -356,6 +364,10 @@ class DGAP:
         pure control flow — the persistence-event order is identical to
         the historical inline calls, which the crash sweeps pin down.
         """
+        with trace("insert_edge"):
+            self._insert_one_traced(src, dst, thread_id, tombstone)
+
+    def _insert_one_traced(self, src: int, dst: int, thread_id: int, tombstone: bool) -> None:
         locked = self.config.thread_safe
         stage = "inner"
         while True:
@@ -541,11 +553,12 @@ class DGAP:
         unbounded batch).
         """
         batch = EdgeBatch.coerce(edges)
-        if batch_size is not None and batch_size > 0 and len(batch) > batch_size:
-            return sum(
-                self._insert_batch(c, thread_id) for c in batch.chunks(batch_size)
-            )
-        return self._insert_batch(batch, thread_id)
+        with trace("insert_edges", edges=len(batch)):
+            if batch_size is not None and batch_size > 0 and len(batch) > batch_size:
+                return sum(
+                    self._insert_batch(c, thread_id) for c in batch.chunks(batch_size)
+                )
+            return self._insert_batch(batch, thread_id)
 
     def _insert_batch(self, batch: EdgeBatch, thread_id: int = 0) -> int:
         n = len(batch)
@@ -620,6 +633,20 @@ class DGAP:
         regrouped against the new geometry — exactly what the scalar
         path's retry does.
         """
+        with trace("batch_round", edges=int(pending.size)):
+            return self._batch_round_traced(
+                pending, srcs, encs, live, order_parts, thread_id
+            )
+
+    def _batch_round_traced(
+        self,
+        pending: np.ndarray,
+        srcs: np.ndarray,
+        encs: np.ndarray,
+        live: np.ndarray,
+        order_parts: list,
+        thread_id: int,
+    ) -> np.ndarray:
         va, cfg = self.va, self.config
         S = self.ea.segment_slots
         while True:
@@ -856,6 +883,10 @@ class DGAP:
         """Graceful shutdown: persist DRAM components, set NORMAL_SHUTDOWN."""
         if self._active_snapshots:
             raise GraphError("shutdown with active analysis snapshots")
+        with trace("shutdown"):
+            self._shutdown_traced()
+
+    def _shutdown_traced(self) -> None:
         nv = self.va.num_vertices
         for f in self._META_FIELDS:
             name = f"meta.{f}"

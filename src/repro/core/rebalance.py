@@ -42,6 +42,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..errors import GraphError, OutOfPMemError
+from ..obs.tracer import annotate, trace
 from .edge_array import EdgeArray
 from .edge_log import EdgeLogs
 from .encoding import SLOT_DTYPE, encode_pivot, is_pivot, pivot_vertices
@@ -122,14 +123,15 @@ class Rebalancer:
 
     def merge_section(self, section: int, thread_id: int = 0) -> None:
         """Fold a (nearly full) section edge log back into the array (§3 ③)."""
-        ea = self.host.ea
-        occ = self.combined_occupancy()
-        win = ea.tree.find_rebalance_window(occ, section)
-        if win is None:
-            self.resize(thread_id)
-            return
-        lo_seg, hi_seg, level = win
-        self.rebalance_window(lo_seg, hi_seg, level, thread_id)
+        with trace("merge", section=section):
+            ea = self.host.ea
+            occ = self.combined_occupancy()
+            win = ea.tree.find_rebalance_window(occ, section)
+            if win is None:
+                self.resize(thread_id)
+                return
+            lo_seg, hi_seg, level = win
+            self.rebalance_window(lo_seg, hi_seg, level, thread_id)
 
     # ------------------------------------------------------------------
     # gather / plan
@@ -253,6 +255,10 @@ class Rebalancer:
         self._execute(lo, hi, image, thread_id)
 
     def _execute(self, lo: int, hi: int, image: np.ndarray, thread_id: int) -> None:
+        with trace("write_window", slots=hi - lo):
+            self._execute_traced(lo, hi, image, thread_id)
+
+    def _execute_traced(self, lo: int, hi: int, image: np.ndarray, thread_id: int) -> None:
         host = self.host
         dev = host.pool.device
         ea = host.ea
@@ -366,6 +372,12 @@ class Rebalancer:
         The caller must hold no section locks (writers defer rebalances
         until after their release — see ``DGAP._insert_one``).
         """
+        with trace("rebalance", lo_seg=lo_seg, hi_seg=hi_seg, level=level):
+            self._rebalance_window_traced(lo_seg, hi_seg, level, thread_id)
+
+    def _rebalance_window_traced(
+        self, lo_seg: int, hi_seg: int, level: int, thread_id: int = 0
+    ) -> None:
         host = self.host
         ea = host.ea
         S = ea.segment_slots
@@ -403,6 +415,7 @@ class Rebalancer:
                 lo_seg, hi_seg = ea.tree.window_at(lo_seg, level)
 
             image, new_starts = self._plan(g)
+            annotate(lo=g.lo, hi=g.hi, elements=g.total)
             self._execute(g.lo, g.hi, image, thread_id)
 
             if host.config.use_undo_log:
@@ -432,6 +445,10 @@ class Rebalancer:
         the early-exit (exception) path.  Callers must hold no section
         locks (deadlock-freedom: a resize acquires everything).
         """
+        with trace("resize"):
+            self._resize_traced(thread_id)
+
+    def _resize_traced(self, thread_id: int = 0) -> None:
         host = self.host
         locks = host.locks
         held = locks.begin_rebalance(range(locks.n_sections))

@@ -30,6 +30,7 @@ import numpy as np
 
 from ..config import DGAPConfig
 from ..errors import RecoveryError
+from ..obs.tracer import trace
 from ..pmem.pool import PMemPool
 from ..pmem.tx import TransactionManager
 from .edge_array import EdgeArray
@@ -52,6 +53,11 @@ from .vertex_array import make_vertex_array
 
 def open_from_pool(cls, pool: PMemPool, config: Optional[DGAPConfig] = None):
     """Reconstruct a DGAP instance from a pool (normal or crash path)."""
+    with trace("open"):
+        return _open_from_pool_traced(cls, pool, config)
+
+
+def _open_from_pool_traced(cls, pool: PMemPool, config: Optional[DGAPConfig]):
     host = cls._blank()
     host.config = config or DGAPConfig()
     cfg = host.config
@@ -94,9 +100,11 @@ def open_from_pool(cls, pool: PMemPool, config: Optional[DGAPConfig] = None):
     host.locks = SectionLockTable(host.ea.n_sections)
 
     if pool.read_root(ROOT_SHUTDOWN) == 1:
-        _normal_restart(host)
+        with trace("normal_restart"):
+            _normal_restart(host)
     else:
-        crash_recover(host)
+        with trace("crash_recover"):
+            crash_recover(host)
 
     host._cow_cache = None
     host.track_rebalance_windows = False
@@ -136,28 +144,34 @@ def crash_recover(host) -> None:
 
     # (0) uncorrectable media damage: repair what is reconstructible,
     # refuse (with the damaged region named) what is not.
-    _scrub_poison(host)
+    with trace("scrub_poison"):
+        _scrub_poison(host)
 
     # (1) interrupted PMDK transaction (No EL&UL ablation)
     if host.tx_mgr is not None:
-        host.tx_mgr.recover()
+        with trace("tx_recover"):
+            host.tx_mgr.recover()
 
     # (2) edge-log cursors (needed by the undo logs' pending clears)
-    host.logs.rebuild_counts()
+    with trace("rebuild_log_cursors"):
+        host.logs.rebuild_counts()
 
     # (3) per-thread undo logs: restore / redo / finish clears
     reissue: List[Tuple[int, int]] = []
-    for ul in host.ulogs:
-        win = host.rebalancer.recover_ulog(ul)
-        if win is not None:
-            reissue.append(win)
+    with trace("recover_ulogs", threads=len(host.ulogs)):
+        for ul in host.ulogs:
+            win = host.rebalancer.recover_ulog(ul)
+            if win is not None:
+                reissue.append(win)
 
     # (4) pivot scan -> vertex array; (5) log replay -> degrees/chains
-    starts, array_deg, live = _scan_edge_array(host)
+    with trace("scan_edge_array"):
+        starts, array_deg, live = _scan_edge_array(host)
     nv = starts.size
     degree = array_deg.copy()
     el = np.full(nv, -1, dtype=np.int64)
-    _replay_logs(host, nv, degree, live, el)
+    with trace("replay_logs"):
+        _replay_logs(host, nv, degree, live, el)
 
     host.va = make_vertex_array(max(nv, 1), host.config.dram_placement, pool)
     if nv:
@@ -166,7 +180,8 @@ def crash_recover(host) -> None:
     # (6) occupancy + interrupted rebalances
     host.ea.recount_all()
     for lo, hi in reissue:
-        _reissue_window(host, lo, hi)
+        with trace("reissue_window"):
+            _reissue_window(host, lo, hi)
 
 
 def _scrub_poison(host) -> None:

@@ -31,6 +31,7 @@ import numpy as np
 
 from ..errors import SnapshotError
 from ..nputil import multi_arange
+from ..obs.tracer import trace
 from .encoding import SLOT_DTYPE, TOMB_BIT
 
 #: historical alias — external code and tests import the underscored name.
@@ -195,11 +196,12 @@ class DGAPSnapshot:
         """(indptr, dsts) of the live snapshot graph — cached per snapshot."""
         self._check()
         if self._csr is None:
-            nv = self.num_vertices
-            counts, dsts = self.materialize_rows(np.arange(nv, dtype=np.int64))
-            indptr = np.zeros(nv + 1, dtype=np.int64)
-            np.cumsum(counts, out=indptr[1:])
-            self._csr = (indptr, dsts)
+            with trace("to_csr"):
+                nv = self.num_vertices
+                counts, dsts = self.materialize_rows(np.arange(nv, dtype=np.int64))
+                indptr = np.zeros(nv + 1, dtype=np.int64)
+                np.cumsum(counts, out=indptr[1:])
+                self._csr = (indptr, dsts)
         return self._csr
 
     def to_csc(self) -> Tuple[np.ndarray, np.ndarray]:

@@ -45,6 +45,13 @@ from .stats import PMemStats
 
 Buffer = Union[bytes, bytearray, memoryview, np.ndarray]
 
+#: Optional observability hook set by :mod:`repro.obs` while a tracer
+#: with ``device_ops=True`` is installed: called as
+#: ``TRACE_HOOK(kind, count, nbytes)`` after an op's accounting lands.
+#: Module-level and ``None`` by default so untraced runs pay exactly one
+#: global load per op; this module must never import ``repro.obs``.
+TRACE_HOOK = None
+
 #: Flush spans at or above this many lines take the vectorized
 #: sequential-stream path instead of per-line classification.
 _BULK_FLUSH_LINES = 16
@@ -175,6 +182,8 @@ class PMemDevice:
         st.stored_bytes += n
         st.payload_bytes += n if payload is None else payload
         self._charge((last - first + 1) * self.profile.store_per_line_ns)
+        if TRACE_HOOK is not None:
+            TRACE_HOOK("store", 1, n)
 
     def store_zeros(self, off: int, n: int, payload: int = 0) -> None:
         """Store ``n`` zero bytes (cheap bulk clear through the cache)."""
@@ -188,6 +197,8 @@ class PMemDevice:
         st.stored_bytes += n
         st.payload_bytes += payload
         self._charge((last - first + 1) * self.profile.store_per_line_ns)
+        if TRACE_HOOK is not None:
+            TRACE_HOOK("store", 1, n)
 
     def ntstore(self, off: int, data: Buffer, payload: Optional[int] = None) -> None:
         """Non-temporal streaming store: write-combines straight to media.
@@ -233,6 +244,8 @@ class PMemDevice:
         st.payload_bytes += n if payload is None else payload
         st.media_bytes += (last // (XPLINE // CACHE_LINE) - first // (XPLINE // CACHE_LINE) + 1) * XPLINE
         self._charge(self.profile.seq_write_ns(n))
+        if TRACE_HOOK is not None:
+            TRACE_HOOK("ntstore", 1, n)
 
     # ------------------------------------------------------------------
     # reads
@@ -328,6 +341,8 @@ class PMemDevice:
         else:
             for line in range(first, last + 1):
                 self._flush_line(line)
+        if TRACE_HOOK is not None:
+            TRACE_HOOK("flush", nlines, nlines * CACHE_LINE)
 
     #: ``clflushopt`` behaves identically for our purposes (clwb keeps the
     #: line in cache, clflushopt evicts it — costs are the same here).
@@ -432,6 +447,8 @@ class PMemDevice:
         self.stats.fences += 1
         self._charge(self.profile.fence_ns)
         self._drain_pending()
+        if TRACE_HOOK is not None:
+            TRACE_HOOK("fence", 1, 0)
 
     def persist(self, off: int, n: int = CACHE_LINE) -> None:
         """Convenience ``clwb + sfence`` (PMDK's ``pmem_persist``)."""
@@ -529,6 +546,8 @@ class PMemDevice:
         st.stored_bytes += n * unit
         st.payload_bytes += n * (unit if payload_per_unit is None else payload_per_unit)
         self._charge(int(seq.size) * self.profile.store_per_line_ns)
+        if TRACE_HOOK is not None:
+            TRACE_HOOK("store", n, n * unit)
 
     def flush_span(self, offs: np.ndarray, unit: int) -> None:
         """Replay ``clwb(off_i, unit)`` per unit over the whole span at once.
@@ -628,6 +647,8 @@ class PMemDevice:
         for i in range(m - tail, m):
             recent[int(seq[i])] = base_op + i + 1
         self._recent_flushes = recent
+        if TRACE_HOOK is not None:
+            TRACE_HOOK("flush", m, m * CACHE_LINE)
 
     def sfence_batch(self, n: int) -> None:
         """``n`` back-to-back fences (one per persisted unit)."""
@@ -641,6 +662,8 @@ class PMemDevice:
         self.stats.fences += n
         self._charge(n * self.profile.fence_ns)
         self._drain_pending()
+        if TRACE_HOOK is not None:
+            TRACE_HOOK("fence", n, 0)
 
     def persist_batch(
         self, offs: np.ndarray, data: np.ndarray, payload_per_unit: Optional[int] = None
@@ -723,6 +746,8 @@ class PMemDevice:
         self._recent_flushes.clear()
         self._last_flush_line = -(10**9)
         self._last_media_xpline = -(10**9)
+        if TRACE_HOOK is not None:
+            TRACE_HOOK("crash", 1, 0)
 
     def _crash_adr(self, ordinal: int) -> None:
         """ADR power failure, honoring the device's fault policy."""

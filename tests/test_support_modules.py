@@ -1,0 +1,201 @@
+"""Coverage for previously untested support modules (ISSUE 5 satellite).
+
+* ``repro/config.py`` — every ``__post_init__`` validation error fires
+  with a readable message, and the derived ``elog_entries`` property.
+* ``repro/errors.py`` — the exception hierarchy, the payload-carrying
+  errors (``MediaError``, ``SimulatedCrash``) and their reprs.
+* ``bench/__main__.py`` — argument parsing: bad dataset/kernel/batch
+  size/subcommand exit nonzero with a message on stderr (argparse),
+  not a traceback; help exits zero.
+"""
+
+import pytest
+
+from repro.config import DGAPConfig
+from repro.bench.__main__ import main
+from repro import errors
+
+
+# -- repro/config.py -------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "kwargs, match",
+    [
+        ({"init_vertices": 0}, "must be positive"),
+        ({"init_edges": -1}, "must be positive"),
+        ({"elog_merge_fraction": 0.0}, "elog_merge_fraction"),
+        ({"elog_merge_fraction": 1.5}, "elog_merge_fraction"),
+        ({"tau_root": 0.0}, "tau_root"),
+        ({"tau_root": 0.95, "tau_leaf": 0.9}, "tau_root"),
+        ({"tau_leaf": 1.2}, "tau_root <= tau_leaf"),
+        ({"rho_leaf": -0.1}, "rho_leaf"),
+        ({"rho_leaf": 0.5, "rho_root": 0.4}, "rho_leaf"),
+        ({"rho_root": 0.75}, "rho_root < tau_root"),
+        ({"segment_slots": 63}, "power of two"),
+        ({"segment_slots": 96}, "power of two"),
+        ({"segment_slots": 32}, "power of two"),
+        ({"gap_distribution": "randomly"}, "gap_distribution"),
+    ],
+)
+def test_config_validation_errors(kwargs, match):
+    with pytest.raises(ValueError, match=match):
+        DGAPConfig(**kwargs)
+
+
+def test_config_defaults_are_valid_and_paper_shaped():
+    cfg = DGAPConfig()
+    assert cfg.elog_size == 2048 and cfg.ulog_size == 2048  # paper defaults
+    assert cfg.segment_slots & (cfg.segment_slots - 1) == 0
+    assert 0 < cfg.tau_root <= cfg.tau_leaf <= 1.0
+    assert 0 <= cfg.rho_leaf <= cfg.rho_root < cfg.tau_root
+
+
+def test_config_elog_entries_derivation():
+    from repro.core.edge_log import ENTRY_BYTES
+
+    cfg = DGAPConfig(elog_size=2048)
+    assert cfg.elog_entries == 2048 // ENTRY_BYTES
+    tiny = DGAPConfig(elog_size=1)  # still at least one entry
+    assert tiny.elog_entries == 1
+
+
+def test_config_boundary_values_accepted():
+    DGAPConfig(elog_merge_fraction=1.0)          # inclusive upper bound
+    DGAPConfig(segment_slots=64)                 # smallest legal section
+    DGAPConfig(tau_leaf=1.0, tau_root=1.0)       # degenerate but legal
+    DGAPConfig(rho_leaf=0.0)                     # inclusive lower bound
+    DGAPConfig(gap_distribution="uniform")
+
+
+# -- repro/errors.py -------------------------------------------------------
+
+def test_error_hierarchy_roots():
+    for exc in (
+        errors.PMemError,
+        errors.GraphError,
+        errors.SimulatedCrash,
+    ):
+        assert issubclass(exc, errors.ReproError)
+    for exc in (
+        errors.OutOfPMemError,
+        errors.PoolLayoutError,
+        errors.TransactionError,
+        errors.MediaError,
+    ):
+        assert issubclass(exc, errors.PMemError)
+    for exc in (
+        errors.LockDisciplineError,
+        errors.VertexRangeError,
+        errors.ImmutableGraphError,
+        errors.SnapshotError,
+        errors.RecoveryError,
+    ):
+        assert issubclass(exc, errors.GraphError)
+    # SimulatedCrash is NOT a bug class: it must not be a PMemError or
+    # GraphError so `except GraphError` in callers never swallows it.
+    assert not issubclass(errors.SimulatedCrash, errors.PMemError)
+    assert not issubclass(errors.SimulatedCrash, errors.GraphError)
+
+
+def test_media_error_carries_range():
+    e = errors.MediaError("poisoned", off=256, length=64)
+    assert e.off == 256 and e.length == 64
+    assert isinstance(e, errors.ReproError)
+    defaults = errors.MediaError("poisoned")
+    assert defaults.off == -1 and defaults.length == 0
+
+
+def test_simulated_crash_coordinates_and_repr():
+    e = errors.SimulatedCrash(op="flush", op_index=7, total_index=19)
+    assert e.op == "flush" and e.op_index == 7 and e.total_index == 19
+    assert "flush" in str(e) and "#7" in str(e) and "#19" in str(e)
+    assert repr(e) == "SimulatedCrash(op='flush', op_index=7, total_index=19)"
+    bare = errors.SimulatedCrash()
+    assert bare.op == "?" and bare.op_index == -1 and bare.total_index == -1
+    assert "simulated power failure" in str(bare)
+
+
+def test_one_except_catches_everything():
+    for exc in (
+        errors.OutOfPMemError("x"),
+        errors.RecoveryError("x"),
+        errors.SimulatedCrash(),
+        errors.MediaError("x", off=0, length=1),
+    ):
+        with pytest.raises(errors.ReproError):
+            raise exc
+
+
+# -- bench/__main__.py argument parsing ------------------------------------
+
+def test_cli_no_subcommand_exits_nonzero(capsys):
+    with pytest.raises(SystemExit) as ei:
+        main([])
+    assert ei.value.code == 2
+    assert "usage" in capsys.readouterr().err.lower()
+
+
+def test_cli_unknown_subcommand_exits_nonzero(capsys):
+    with pytest.raises(SystemExit) as ei:
+        main(["frobnicate"])
+    assert ei.value.code == 2
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_cli_bad_dataset_exits_with_message(capsys):
+    with pytest.raises(SystemExit) as ei:
+        main(["insert", "--dataset", "no-such-graph"])
+    assert ei.value.code == 2
+    err = capsys.readouterr().err
+    assert "invalid choice" in err and "no-such-graph" in err
+
+
+def test_cli_bad_kernel_exits_with_message(capsys):
+    with pytest.raises(SystemExit) as ei:
+        main(["analysis", "--kernel", "dijkstra"])
+    assert ei.value.code == 2
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_cli_non_integer_batch_size_exits_with_message(capsys):
+    with pytest.raises(SystemExit) as ei:
+        main(["insert", "--batch-size", "lots"])
+    assert ei.value.code == 2
+    assert "invalid int value" in capsys.readouterr().err
+
+
+def test_cli_bad_profile_experiment_exits_with_message(capsys):
+    with pytest.raises(SystemExit) as ei:
+        main(["profile", "warp-drive"])
+    assert ei.value.code == 2
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_cli_unknown_race_scenario_message_not_traceback():
+    with pytest.raises(SystemExit) as ei:
+        main(["race-check", "--scenarios", "not-a-scenario"])
+    assert "unknown scenarios" in str(ei.value.code)
+
+
+def test_cli_help_exits_zero(capsys):
+    for argv in (["--help"], ["insert", "--help"], ["profile", "--help"]):
+        with pytest.raises(SystemExit) as ei:
+            main(argv)
+        assert ei.value.code == 0
+        assert "usage" in capsys.readouterr().out.lower()
+
+
+def test_cli_batch_size_normalization():
+    from repro.bench.__main__ import _batch_size
+
+    class A:
+        pass
+
+    a = A()
+    a.batch_size = 0
+    assert _batch_size(a) is None  # <= 0 means "one unbounded batch"
+    a.batch_size = -3
+    assert _batch_size(a) is None
+    a.batch_size = 7
+    assert _batch_size(a) == 7
+    assert _batch_size(A()) is not None  # default comes from the harness

@@ -1,0 +1,190 @@
+"""Differential tests: tracing is observationally free (ISSUE 5 satellite).
+
+Twin-system pattern (as in ``tests/test_view_cache.py``): two identical
+DGAP instances run the identical workload, one under an installed
+:class:`~repro.obs.Tracer` (with device-op events on — the most
+invasive configuration), one untraced.  The traced arm must be
+indistinguishable from the untraced arm at every level the simulator
+can observe:
+
+* the **PM event stream** — every injector-visible persistence event,
+  in order (recorded via a CrashInjector subclass);
+* **byte-identical device state** — cache image and media image;
+* **exactly-equal counters** — every integer counter and the float
+  modeled clock, bit for bit (the tracer only *reads* snapshots, so
+  there is no epsilon here), including through shutdown/reopen and
+  crash/recovery.
+
+This is the proof behind the acceptance criterion "tracing-off runs are
+counter- and event-identical to pre-PR behaviour": the tracer's entire
+interaction with the system is snapshot reads, so traced == untraced ==
+pre-PR.
+"""
+
+import numpy as np
+import pytest
+
+from repro import DGAP, DGAPConfig
+from repro.algorithms import pagerank
+from repro.obs import Tracer, tracing
+from repro.pmem.crash import CrashInjector
+
+SMALL = dict(init_vertices=24, init_edges=256, segment_slots=64)
+NV = SMALL["init_vertices"]
+
+
+class RecordingInjector(CrashInjector):
+    """Never fires; records the exact persistence-event stream."""
+
+    def __init__(self):
+        super().__init__()
+        self.events = []
+
+    def tick(self, event):
+        self.events.append((event, 1))
+        super().tick(event)
+
+    def tick_many(self, event, n):
+        if n > 0:
+            self.events.append((event, int(n)))
+        super().tick_many(event, n)
+
+
+def make_twin():
+    inj = RecordingInjector()
+    g = DGAP(DGAPConfig(**SMALL), injector=inj)
+    return g, inj
+
+
+def workload_edges():
+    rng = np.random.default_rng(42)
+    return rng.integers(0, NV, size=(600, 2))
+
+
+def run_workload(g: DGAP) -> None:
+    """Mixed mutation + analysis workload hitting every hot path."""
+    edges = workload_edges()
+    g.insert_edges(edges[:500], batch_size=64)   # batched pipeline
+    for s, d in edges[500:520]:
+        g.insert_edge(int(s), int(d))            # scalar path
+    for s, d in edges[:10]:
+        g.delete_edge(int(s), int(d))            # tombstones
+    g.insert_edges(edges[520:], batch_size=1)    # per-edge batch path
+    with g.consistent_view() as snap:
+        pagerank_view = snap.to_csr()
+    assert pagerank_view[0].shape[0] == g.num_vertices + 1
+
+
+def assert_stats_identical(a, b):
+    da, db = dict(a.__dict__), dict(b.__dict__)
+    ba, bb = da.pop("buckets"), db.pop("buckets")
+    assert da == db  # integer counters AND float modeled_ns, exactly
+    assert ba == bb
+
+
+def assert_devices_identical(g1: DGAP, g2: DGAP):
+    d1, d2 = g1.pool.device, g2.pool.device
+    np.testing.assert_array_equal(d1.buf, d2.buf)
+    np.testing.assert_array_equal(d1.media, d2.media)
+    assert d1._dirty == d2._dirty
+    assert_stats_identical(d1.stats, d2.stats)
+
+
+def test_traced_run_is_event_and_counter_identical():
+    g_plain, inj_plain = make_twin()
+    g_traced, inj_traced = make_twin()
+
+    run_workload(g_plain)
+
+    tracer = Tracer(g_traced.pool.stats, device_ops=True)
+    with tracing(tracer):
+        run_workload(g_traced)
+
+    assert inj_plain.events == inj_traced.events
+    assert_devices_identical(g_plain, g_traced)
+    assert tracer.span_count() > 0  # the traced arm really was traced
+
+
+def test_traced_shutdown_reopen_is_identical():
+    g_plain, _ = make_twin()
+    g_traced, _ = make_twin()
+    run_workload(g_plain)
+    run_workload(g_traced)
+
+    g_plain.shutdown()
+    r_plain = DGAP.open(g_plain.pool, g_plain.config)
+
+    tracer = Tracer(g_traced.pool.stats, device_ops=True)
+    with tracing(tracer):
+        g_traced.shutdown()
+        r_traced = DGAP.open(g_traced.pool, g_traced.config)
+
+    assert_devices_identical(g_plain, g_traced)
+    assert r_plain.num_vertices == r_traced.num_vertices
+    assert r_plain.num_edges == r_traced.num_edges
+    np.testing.assert_array_equal(
+        r_plain.va.live_degrees(), r_traced.va.live_degrees()
+    )
+    assert tracer.find("shutdown") and tracer.find("normal_restart")
+
+
+def test_traced_crash_recovery_is_byte_identical():
+    g_plain, inj_plain = make_twin()
+    g_traced, inj_traced = make_twin()
+    run_workload(g_plain)
+    run_workload(g_traced)
+
+    g_plain.pool.crash()
+    snap_plain = g_plain.pool.stats.snapshot()
+    r_plain = DGAP.open(g_plain.pool, g_plain.config)
+    delta_plain = g_plain.pool.stats.delta_since(snap_plain)
+
+    tracer = Tracer(g_traced.pool.stats, device_ops=True)
+    with tracing(tracer):
+        g_traced.pool.crash()
+        snap_traced = g_traced.pool.stats.snapshot()
+        r_traced = DGAP.open(g_traced.pool, g_traced.config)
+    delta_traced = g_traced.pool.stats.delta_since(snap_traced)
+
+    # identical event streams through crash + full recovery
+    assert inj_plain.events == inj_traced.events
+    # byte-identical recovered persistent state
+    assert_devices_identical(g_plain, g_traced)
+    # exactly-equal modeled recovery cost (floats compared with ==)
+    assert delta_plain.modeled_ns == delta_traced.modeled_ns
+    assert delta_plain.buckets.get("recovery") == delta_traced.buckets.get(
+        "recovery"
+    )
+    # recovered graphs agree
+    assert r_plain.num_edges == r_traced.num_edges
+    np.testing.assert_array_equal(
+        r_plain.va.live_degrees(), r_traced.va.live_degrees()
+    )
+    assert tracer.find("crash_recover")
+
+
+def test_analysis_kernels_unperturbed_by_tracing():
+    g_plain, _ = make_twin()
+    g_traced, _ = make_twin()
+    run_workload(g_plain)
+    run_workload(g_traced)
+
+    with g_plain.consistent_view() as snap:
+        from repro.analysis.view import CSRArraysView
+
+        view_plain = CSRArraysView(*snap.to_csr())
+        ranks_plain = pagerank(view_plain, iterations=5)
+        secs_plain = view_plain.seconds(1)
+
+    tracer = Tracer(g_traced.pool.stats, device_ops=True)
+    with tracing(tracer):
+        with g_traced.consistent_view() as snap:
+            from repro.analysis.view import CSRArraysView
+
+            view_traced = CSRArraysView(*snap.to_csr())
+            ranks_traced = pagerank(view_traced, iterations=5)
+            secs_traced = view_traced.seconds(1)
+
+    np.testing.assert_array_equal(ranks_plain, ranks_traced)
+    assert secs_plain == secs_traced  # modeled analysis seconds, exactly
+    assert tracer.find("pr")[0].attrs["analysis_par_ns"] > 0
