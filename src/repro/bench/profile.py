@@ -22,7 +22,14 @@ from ..datasets import get_dataset
 from ..obs import INT_COUNTER_FIELDS, Tracer, aggregate_phases, tracing
 from .harness import pick_source, run_kernel
 
-PROFILE_EXPERIMENTS = ("insert", "recovery", "analysis")
+PROFILE_EXPERIMENTS = ("insert", "recovery", "analysis", "rebalance")
+
+#: The merge/rebalance-heavy arm: large segments keep the per-section
+#: lock/clear overhead small relative to the gather/plan/write passes the
+#: bulk read layer vectorizes; each round ingests a stream slice and then
+#: forces a whole-array rebalance.
+REBALANCE_ARM_SEGMENT_SLOTS = 4096
+REBALANCE_ARM_ROUNDS = 12
 
 
 def profile_insert(
@@ -63,6 +70,73 @@ def profile_recovery(
     return tracer
 
 
+def build_rebalance_arm(
+    dataset: str,
+    scale: float,
+    batch_size: Optional[int],
+    *,
+    scalar_readpath: bool = False,
+    rounds: int = REBALANCE_ARM_ROUNDS,
+):
+    """Run the merge/rebalance-heavy arm; return ``(graph, rebalance_wall_s)``.
+
+    The stream is split into ``rounds`` slices; after each slice a full
+    whole-array rebalance is forced.  Only the rebalance calls are
+    timed — that is the path the bulk pmem read layer vectorizes (the
+    ingest slices between them exercise the ordinary merge triggers).
+    """
+    from time import perf_counter
+
+    spec = get_dataset(dataset)
+    edges = spec.generate(scale)
+    nv, _ = spec.sizes(scale)
+    g = DGAP(
+        DGAPConfig(
+            init_vertices=nv,
+            init_edges=edges.shape[0],
+            segment_slots=REBALANCE_ARM_SEGMENT_SLOTS,
+            scalar_readpath=scalar_readpath,
+        )
+    )
+    per = max(1, edges.shape[0] // rounds)
+    wall = 0.0
+    for r in range(rounds):
+        g.insert_edges(edges[r * per : (r + 1) * per], batch_size=batch_size)
+        t0 = perf_counter()
+        g.rebalancer.rebalance_window(0, g.ea.n_sections, g.ea.tree.height)
+        wall += perf_counter() - t0
+    return g, wall
+
+
+def profile_rebalance(
+    dataset: str,
+    scale: float,
+    batch_size: Optional[int],
+    *,
+    device_ops: bool = False,
+) -> Tracer:
+    """Trace the merge/rebalance-heavy arm (forced whole-array rebalances)."""
+    from time import perf_counter
+
+    spec = get_dataset(dataset)
+    edges = spec.generate(scale)
+    nv, _ = spec.sizes(scale)
+    g = DGAP(
+        DGAPConfig(
+            init_vertices=nv,
+            init_edges=edges.shape[0],
+            segment_slots=REBALANCE_ARM_SEGMENT_SLOTS,
+        )
+    )
+    tracer = Tracer(g.pool.stats, device_ops=device_ops)
+    per = max(1, edges.shape[0] // REBALANCE_ARM_ROUNDS)
+    with tracing(tracer):
+        for r in range(REBALANCE_ARM_ROUNDS):
+            g.insert_edges(edges[r * per : (r + 1) * per], batch_size=batch_size)
+            g.rebalancer.rebalance_window(0, g.ea.n_sections, g.ea.tree.height)
+    return tracer
+
+
 def profile_analysis(
     dataset: str,
     scale: float,
@@ -95,6 +169,7 @@ _RUNNERS = {
     "insert": profile_insert,
     "recovery": profile_recovery,
     "analysis": profile_analysis,
+    "rebalance": profile_rebalance,
 }
 
 
@@ -179,6 +254,8 @@ __all__ = [
     "profile_insert",
     "profile_recovery",
     "profile_analysis",
+    "profile_rebalance",
+    "build_rebalance_arm",
     "check_attribution",
     "check_chrome_trace",
 ]

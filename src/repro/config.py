@@ -90,6 +90,15 @@ class DGAPConfig:
     use_undo_log: bool = True
     dram_placement: bool = True
 
+    #: Run the retained scalar (per-slot/per-entry Python loop) reference
+    #: implementations of the read-side hot paths — rebalance gather and
+    #: plan, the recovery pivot scan, log replay and log-cursor rebuild —
+    #: instead of the vectorized bulk-read ones.  Result- and
+    #: accounting-identical by contract (the equivalence tests pin this);
+    #: exists for differential testing and the speedup benchmarks, not
+    #: for production use.
+    scalar_readpath: bool = False
+
     def __post_init__(self) -> None:
         if self.init_vertices <= 0 or self.init_edges <= 0:
             raise ValueError("init_vertices and init_edges must be positive")

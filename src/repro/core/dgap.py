@@ -938,7 +938,7 @@ class DGAP:
             if not (slots[st + ad : int(ends[v])] == 0).all():
                 raise GraphError(f"trailing region of vertex {v} is not gaps")
             el = int(self.va.el[v])
-            chain_len = len(self.logs.walk_chain(el)) if el >= 0 else 0
+            chain_len = self.logs.walk_chain_arrays(el)[0].size if el >= 0 else 0
             if ad + chain_len != int(self.va.degree[v]):
                 raise GraphError(f"degree bookkeeping of vertex {v} inconsistent")
         occ = self.ea.seg_occ.copy()

@@ -38,7 +38,7 @@ from typing import Tuple
 
 import numpy as np
 
-from ..errors import PMemError
+from ..errors import GraphError, PMemError
 from ..pmem.pool import PMemPool
 
 ENTRY_BYTES = 12
@@ -74,6 +74,9 @@ class EdgeLogs:
         self.live_counts = np.zeros(n_sections, dtype=np.int64)
         #: peak fill per section ever observed (Fig. 9's utilization metric).
         self.peak_counts = np.zeros(n_sections, dtype=np.int64)
+        #: preallocated (cap, 3) output for :meth:`walk_chain_arrays`,
+        #: grown by doubling; a returned view is valid until the next walk.
+        self._chain_buf = np.empty((32, _FIELDS), dtype=np.int64)
 
     # -- geometry -----------------------------------------------------------
     @property
@@ -250,21 +253,122 @@ class EdgeLogs:
         n = int(self.counts[section])
         return self.region.view[base : base + n * _FIELDS].reshape(n, _FIELDS)
 
-    def walk_chain(self, head_gidx: int, limit: int = -1) -> list:
-        """Follow back-pointers from ``head_gidx``; newest-first list of
-        ``(gidx, src, dst_enc)``; stops after ``limit`` entries if >= 0."""
-        out = []
-        g = head_gidx
-        while g >= 0 and (limit < 0 or len(out) < limit):
-            src, dst_enc, back = self.read_entry(g)
+    def gather_entries(self, gidxs, bucket: str = None) -> np.ndarray:
+        """Accounted random gather of whole entries: ``(n, 3)`` int32 rows.
+
+        One independent ``ENTRY_BYTES``-sized random read per entry via
+        the device's :meth:`~repro.pmem.device.PMemDevice.gather_span` —
+        the bulk form of ``read_entry`` (fields keep their on-media
+        biases; callers undo them).
+        """
+        idxs = np.asarray(gidxs, dtype=np.int64) * _FIELDS
+        return self.region.gather(idxs, per_unit=_FIELDS, bucket=bucket)
+
+    def walk_chain_arrays(self, head_gidx: int, limit: int = -1):
+        """Ndarray fast path of :meth:`walk_chain`.
+
+        Follows back-pointers from ``head_gidx`` into a preallocated
+        buffer; returns newest-first ``(gidxs, srcs, dst_encs)`` int64
+        column views (valid until the next walk).  Pointer chasing a
+        single chain is inherently serial, but writing into a reused
+        ndarray avoids the per-entry tuple and list traffic of the
+        scalar walk — see :meth:`resolve_chains` for the many-chain
+        vectorized form.
+        """
+        buf = self._chain_buf
+        view = self.region.view
+        n = 0
+        g = int(head_gidx)
+        while g >= 0 and (limit < 0 or n < limit):
+            if n >= buf.shape[0]:
+                buf = np.concatenate([buf, np.empty_like(buf)])
+                self._chain_buf = buf
+            p = g * _FIELDS  # == _base(section) + slot * _FIELDS
+            dst_enc = int(view[p + 1])
             if dst_enc == 0:
                 raise PMemError(f"edge-log chain reached invalidated entry {g}")
-            out.append((g, src, dst_enc))
-            g = back
-        return out
+            buf[n, 0] = g
+            buf[n, 1] = int(view[p]) - 1
+            buf[n, 2] = dst_enc
+            n += 1
+            g = int(view[p + 2]) - 2
+        done = buf[:n]
+        return done[:, 0], done[:, 1], done[:, 2]
+
+    def walk_chain(self, head_gidx: int, limit: int = -1) -> list:
+        """Follow back-pointers from ``head_gidx``; newest-first list of
+        ``(gidx, src, dst_enc)``; stops after ``limit`` entries if >= 0.
+
+        Scalar wrapper over :meth:`walk_chain_arrays`, kept for the
+        tuple-shaped test callers; hot paths use the array forms.
+        """
+        gidxs, srcs, dst_encs = self.walk_chain_arrays(head_gidx, limit)
+        return list(zip(gidxs.tolist(), srcs.tolist(), dst_encs.tolist()))
+
+    def resolve_chains(self, heads: np.ndarray, expect_src: np.ndarray = None):
+        """Follow *all* back-pointer chains at once (frontier pointer chasing).
+
+        ``heads`` holds one chain head per vertex (−1 for no chain).
+        Returns ``(counts, gidxs, dst_encs)``: per-head chain lengths
+        plus the concatenated entries grouped by head, newest-first
+        within each group — exactly what :meth:`walk_chain` per head
+        would produce, computed round-by-round over a shrinking frontier
+        (one fancy-indexed read per chain depth instead of one Python
+        iteration per entry).
+
+        When ``expect_src`` is given (aligned with ``heads``), each
+        chain's *oldest* entry must name that source vertex — the same
+        chain-root integrity check the scalar gather performs.
+        """
+        heads = np.asarray(heads, dtype=np.int64)
+        nv = int(heads.size)
+        counts = np.zeros(nv, dtype=np.int64)
+        kidx = np.flatnonzero(heads >= 0)
+        if kidx.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return counts, empty, empty
+        view = self.region.view
+        g = heads[kidx]
+        rounds_k, rounds_g, rounds_d = [], [], []
+        while g.size:
+            p = g * _FIELDS
+            src = view[p].astype(np.int64) - 1
+            dst = view[p + 1].astype(np.int64)
+            back = view[p + 2].astype(np.int64) - 2
+            invalid = dst == 0
+            if invalid.any():
+                bad = int(g[int(invalid.argmax())])
+                raise PMemError(f"edge-log chain reached invalidated entry {bad}")
+            rounds_k.append(kidx)
+            rounds_g.append(g)
+            rounds_d.append(dst)
+            counts[kidx] += 1
+            ended = back < 0
+            if expect_src is not None and ended.any():
+                mism = src[ended] != np.asarray(expect_src)[kidx[ended]]
+                if mism.any():
+                    v = int(np.min(np.asarray(expect_src)[kidx[ended]][mism]))
+                    raise GraphError(f"edge-log chain of vertex {v} is corrupt")
+            keep = ~ended
+            kidx = kidx[keep]
+            g = back[keep]
+        k_cat = np.concatenate(rounds_k)
+        g_cat = np.concatenate(rounds_g)
+        d_cat = np.concatenate(rounds_d)
+        # An entry surfaced in round r is the r-th newest of its chain:
+        # scatter each round to slot ``start_of_chain + r``.
+        sizes = np.fromiter((a.size for a in rounds_k), dtype=np.int64, count=len(rounds_k))
+        r_cat = np.repeat(np.arange(len(rounds_k), dtype=np.int64), sizes)
+        start = np.cumsum(counts) - counts
+        pos = start[k_cat] + r_cat
+        gidxs = np.empty(k_cat.size, dtype=np.int64)
+        dst_encs = np.empty(k_cat.size, dtype=np.int64)
+        gidxs[pos] = g_cat
+        dst_encs[pos] = d_cat
+        return counts, gidxs, dst_encs
 
     # -- recovery -----------------------------------------------------------------
-    def rebuild_counts(self) -> None:
+    def rebuild_counts(self, scalar: bool = False) -> None:
         """Recompute append cursors from persistent bytes (crash recovery).
 
         The cursor is one past the last *non-empty* entry — one with any
@@ -274,8 +378,16 @@ class EdgeLogs:
         spent; new appends go past it and fully overwrite nothing live.
         Only entries with all three fields nonzero are *valid* (counted
         live and replayed) — a torn partial entry can never be.
+
+        One accounted sequential pass over the whole log region, via the
+        device's bulk read layer; ``scalar=True`` runs the retained
+        per-entry reference instead (same results, same accounting).
         """
-        view = self.region.view.reshape(self.n_sections, self.entries_per_section, _FIELDS)
+        if scalar:
+            self._rebuild_counts_scalar()
+            return
+        raw = self.pool.device.load_batch(self.region.offset, self.region.nbytes, bucket="recovery")
+        view = raw.view(np.int32).reshape(self.n_sections, self.entries_per_section, _FIELDS)
         nonempty = (view != 0).any(axis=2)
         valid = (view != 0).all(axis=2)
         # highest non-empty index + 1 per section (0 when empty)
@@ -284,6 +396,23 @@ class EdgeLogs:
         any_used = nonempty.any(axis=1)
         self.counts = np.where(any_used, self.entries_per_section - first, 0).astype(np.int64)
         self.live_counts = valid.sum(axis=1).astype(np.int64)
+
+    def _rebuild_counts_scalar(self) -> None:
+        """Per-entry reference implementation of :meth:`rebuild_counts`."""
+        view = self.region.view
+        counts = np.zeros(self.n_sections, dtype=np.int64)
+        live = np.zeros(self.n_sections, dtype=np.int64)
+        for s in range(self.n_sections):
+            base = self._base(s)
+            for slot in range(self.entries_per_section):
+                p = base + slot * _FIELDS
+                f0, f1, f2 = int(view[p]), int(view[p + 1]), int(view[p + 2])
+                if f0 or f1 or f2:
+                    counts[s] = slot + 1
+                if f0 and f1 and f2:
+                    live[s] += 1
+        self.counts = counts
+        self.live_counts = live
         self.pool.device.account_seq_read(self.region.nbytes, bucket="recovery")
 
 

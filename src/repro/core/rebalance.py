@@ -42,6 +42,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..errors import GraphError, OutOfPMemError
+from ..nputil import ScratchBuffer, multi_arange
 from ..obs.tracer import annotate, trace
 from .edge_array import EdgeArray
 from .edge_log import EdgeLogs
@@ -73,18 +74,51 @@ ROOT_NV_HINT = 6
 
 
 class GatherResult:
-    """Everything known about a window's contents after gathering."""
+    """Everything known about a window's contents after gathering.
 
-    __slots__ = ("lo", "hi", "i0", "j", "runs", "chain_gidxs", "total")
+    The per-vertex runs live concatenated in one ``values`` array
+    (``sizes``/``run_off`` index it); ``runs`` materializes the
+    per-vertex list of views lazily for the callers and tests that want
+    the per-run shape.
+    """
 
-    def __init__(self, lo, hi, i0, j, runs, chain_gidxs, total):
+    __slots__ = ("lo", "hi", "i0", "j", "values", "sizes", "run_off",
+                 "chain_gidxs", "total", "_runs")
+
+    def __init__(self, lo, hi, i0, j, values, sizes, run_off, chain_gidxs, total):
         self.lo = lo
         self.hi = hi
         self.i0 = i0
         self.j = j
-        self.runs: List[np.ndarray] = runs  # per-vertex edge values (no pivot)
-        self.chain_gidxs: List[int] = chain_gidxs
+        self.values: np.ndarray = values  # all runs, concatenated (no pivots)
+        self.sizes: np.ndarray = sizes  # per-vertex run length
+        self.run_off: np.ndarray = run_off  # exclusive prefix sum of sizes
+        self.chain_gidxs: np.ndarray = chain_gidxs
         self.total = total  # elements incl. pivots
+        self._runs: Optional[List[np.ndarray]] = None
+
+    @classmethod
+    def from_runs(cls, lo, hi, i0, j, runs, chain_gidxs, total) -> "GatherResult":
+        """Build from a per-vertex list of run arrays (scalar reference path)."""
+        sizes = np.fromiter((r.size for r in runs), dtype=np.int64, count=len(runs))
+        run_off = np.cumsum(sizes) - sizes
+        values = (
+            np.concatenate(runs) if runs else np.empty(0, dtype=SLOT_DTYPE)
+        ).astype(SLOT_DTYPE, copy=False)
+        res = cls(lo, hi, i0, j, values, sizes, run_off,
+                  np.asarray(chain_gidxs, dtype=np.int64), total)
+        res._runs = list(runs)
+        return res
+
+    @property
+    def runs(self) -> List[np.ndarray]:
+        """Per-vertex edge values (no pivot), as views into ``values``."""
+        if self._runs is None:
+            self._runs = [
+                self.values[o : o + s]
+                for o, s in zip(self.run_off.tolist(), self.sizes.tolist())
+            ]
+        return self._runs
 
 
 class Rebalancer:
@@ -94,6 +128,18 @@ class Rebalancer:
         self.host = host
         self._scratch = None  # lazily grown uint8 region for COPYBACK
         self._scratch_seq = 0
+        self._tls = threading.local()  # per-thread DRAM scratch buffers
+
+    def dram_scratch(self) -> ScratchBuffer:
+        """Per-thread reusable DRAM scratch (gather values, window images).
+
+        Thread-local because disjoint windows may rebalance concurrently;
+        recovery (single-threaded) borrows the same pool for its scans.
+        """
+        sb = getattr(self._tls, "scratch", None)
+        if sb is None:
+            sb = self._tls.scratch = ScratchBuffer()
+        return sb
 
     # ------------------------------------------------------------------
     # density triggers
@@ -155,7 +201,46 @@ class Rebalancer:
         return lo, hi, i0, j
 
     def _gather(self, lo: int, hi: int, i0: int, j: int) -> GatherResult:
-        """Collect runs (array edges + merged log chains) for vertices [i0, j)."""
+        """Collect runs (array edges + merged log chains) for vertices [i0, j).
+
+        One whole-window bulk load plus one gather of every pending
+        chain entry, with chain heads resolved by frontier pointer
+        chasing — accounting-identical to the retained scalar reference
+        (``scalar_readpath``): one sequential window read, then one
+        random read per chain entry.
+        """
+        if self.host.config.scalar_readpath:
+            return self._gather_scalar(lo, hi, i0, j)
+        host = self.host
+        va, ea, logs = host.va, host.ea, host.logs
+        dev = host.pool.device
+        n = j - i0
+        win = dev.load_batch(ea.byte_off(lo), (hi - lo) * 4, bucket="rebalance").view(SLOT_DTYPE)
+        starts = np.asarray(va.start[i0:j], dtype=np.int64) - lo
+        ads = np.asarray(va.array_degree[i0:j], dtype=np.int64)
+        counts, chain_gidxs, _ = logs.resolve_chains(
+            va.el[i0:j], expect_src=np.arange(i0, j, dtype=np.int64)
+        )
+        sizes = ads + counts
+        run_off = np.cumsum(sizes) - sizes
+        nvals = int(sizes.sum())
+        values = self.dram_scratch().take("gather.values", nvals, SLOT_DTYPE)
+        if int(ads.sum()):
+            values[multi_arange(run_off, ads)] = win[multi_arange(starts, ads)]
+        if chain_gidxs.size:
+            rows = logs.gather_entries(chain_gidxs, bucket="rebalance")
+            # The r-th newest entry of vertex k fills slot end_k - 1 - r:
+            # chains merge oldest-first behind the array part of the run.
+            kk = np.repeat(np.arange(n, dtype=np.int64), counts)
+            rr = np.arange(chain_gidxs.size, dtype=np.int64) - np.repeat(
+                np.cumsum(counts) - counts, counts
+            )
+            ends = run_off + sizes
+            values[ends[kk] - 1 - rr] = rows[:, 1]
+        return GatherResult(lo, hi, i0, j, values, sizes, run_off, chain_gidxs, n + nvals)
+
+    def _gather_scalar(self, lo: int, hi: int, i0: int, j: int) -> GatherResult:
+        """Per-vertex/per-entry reference implementation of :meth:`_gather`."""
         host = self.host
         va, ea, logs = host.va, host.ea, host.logs
         slots = ea.slots
@@ -184,35 +269,62 @@ class Rebalancer:
         dev.account_seq_read((hi - lo) * 4, bucket="rebalance")
         if chain_gidxs:
             dev.account_rnd_read(len(chain_gidxs), 12, bucket="rebalance")
-        return GatherResult(lo, hi, i0, j, runs, chain_gidxs, total)
+        return GatherResult.from_runs(lo, hi, i0, j, runs, chain_gidxs, total)
+
+    def _gaps(self, sizes: np.ndarray, G: int, T: int) -> np.ndarray:
+        """Per-run trailing gaps distributing ``G`` free slots.
+
+        Proportional to run size by default (VCSR's workload-aware
+        uneven distribution: hot vertices get more room);
+        ``gap_distribution="uniform"`` switches to the classic PMA/PCSR
+        even split — the design-choice ablation.
+        """
+        nv = len(sizes)
+        if self.host.config.gap_distribution == "uniform":
+            gaps = np.full(nv, G // nv, dtype=np.int64)
+            rem = G - int(gaps.sum())
+            gaps[:rem] += 1
+        else:
+            gaps = (G * sizes) // T
+            rem = G - int(gaps.sum())
+            if rem:
+                order = np.argsort(-sizes, kind="stable")[:rem]
+                gaps[order] += 1
+        return gaps
 
     def _plan(self, g: GatherResult) -> Tuple[np.ndarray, np.ndarray]:
         """Final window image + new per-vertex start slots.
 
-        Gaps are distributed proportionally to run size by default
-        (VCSR's workload-aware uneven distribution: hot vertices get
-        more room); ``gap_distribution="uniform"`` switches to the
-        classic PMA/PCSR even split — the design-choice ablation.
+        Counting-sort layout: run positions come from one prefix sum
+        over sizes-plus-gaps, then pivots and all run values scatter
+        into the image in two fancy-indexed stores.
         """
+        if self.host.config.scalar_readpath:
+            return self._plan_scalar(g)
+        W = g.hi - g.lo
+        nv = len(g.sizes)
+        sizes = 1 + g.sizes  # pivot + edges
+        T = int(sizes.sum())
+        assert T == g.total and T <= W
+        gaps = self._gaps(sizes, W - T, T) if nv else sizes
+        steps = sizes + gaps
+        pos = np.cumsum(steps) - steps  # window-relative pivot slots
+        new_starts = g.lo + pos + 1
+        image = self.dram_scratch().take("plan.image", W, SLOT_DTYPE, zero=True)
+        if nv:
+            image[pos] = -(np.arange(g.i0, g.j, dtype=np.int64) + 1)  # encode_pivot
+            if g.values.size:
+                image[multi_arange(pos + 1, g.sizes)] = g.values
+        return image, new_starts
+
+    def _plan_scalar(self, g: GatherResult) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-run reference implementation of :meth:`_plan`."""
         W = g.hi - g.lo
         nv = len(g.runs)
         sizes = np.fromiter((1 + r.size for r in g.runs), dtype=np.int64, count=nv)
         T = int(sizes.sum())
         assert T == g.total and T <= W
-        G = W - T
-        if nv:
-            if self.host.config.gap_distribution == "uniform":
-                gaps = np.full(nv, G // nv, dtype=np.int64)
-                rem = G - int(gaps.sum())
-                gaps[:rem] += 1
-            else:
-                gaps = (G * sizes) // T
-                rem = G - int(gaps.sum())
-                if rem:
-                    order = np.argsort(-sizes, kind="stable")[:rem]
-                    gaps[order] += 1
-        else:
-            gaps = sizes
+        gaps = self._gaps(sizes, W - T, T) if nv else sizes
         image = np.zeros(W, dtype=SLOT_DTYPE)
         new_starts = np.zeros(nv, dtype=np.int64)
         pos = 0
@@ -292,14 +404,7 @@ class Rebalancer:
 
     def _copy_scratch(self, src_off: int, dst_off: int, nbytes: int, ulog: UndoLog) -> None:
         dev = self.host.pool.device
-        chunk = ulog.capacity
-        pos = 0
-        while pos < nbytes:
-            n = min(chunk, nbytes - pos)
-            data = dev.buf[src_off + pos : src_off + pos + n].copy()
-            dev.store(dst_off + pos, data, payload=0)
-            dev.clwb(dst_off + pos, n)
-            pos += n
+        dev.copyback_stream(src_off, dst_off, nbytes, chunk=ulog.capacity)
         dev.sfence()
 
     def _clears_by_window(self, lo: int, hi: int) -> None:
@@ -318,7 +423,7 @@ class Rebalancer:
         full_lo = (lo + S - 1) // S
         full_hi = hi // S
         window_slots = ea.slots[lo:hi]
-        merged = set(pivot_vertices(window_slots[is_pivot(window_slots)]).tolist())
+        merged = pivot_vertices(window_slots[is_pivot(window_slots)])
         for s in range(s_lo, s_hi):
             if full_lo <= s < full_hi:
                 if logs.counts[s] or logs.region.view[
@@ -332,11 +437,9 @@ class Rebalancer:
                 entries = logs.section_entries(s)
                 if entries.size == 0:
                     continue
-                bad = [
-                    logs.gidx(s, k)
-                    for k in range(entries.shape[0])
-                    if entries[k, 1] != 0 and int(entries[k, 0]) - 1 in merged
-                ]
+                srcs = entries[:, 0].astype(np.int64) - 1
+                hit = (entries[:, 1] != 0) & np.isin(srcs, merged)
+                bad = (logs.gidx(s, 0) + np.flatnonzero(hit)).tolist()
                 if bad:
                     logs.invalidate_entries(bad)
 
@@ -492,7 +595,9 @@ class Rebalancer:
             host.pool, new_ea.n_sections, host.logs.entries_per_section, gen=gen, create=True
         )
         # Lay out into the new generation (sequential streaming store).
-        g2 = GatherResult(0, new_cap, g.i0, g.j, g.runs, g.chain_gidxs, g.total)
+        g2 = GatherResult(
+            0, new_cap, g.i0, g.j, g.values, g.sizes, g.run_off, g.chain_gidxs, g.total
+        )
         image, new_starts = self._plan(g2)
         host.pool.device.ntstore(new_ea.region.offset, image.view(np.uint8), payload=0)
         host.pool.device.sfence()

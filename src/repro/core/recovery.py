@@ -35,7 +35,7 @@ from ..pmem.pool import PMemPool
 from ..pmem.tx import TransactionManager
 from .edge_array import EdgeArray
 from .edge_log import ENTRY_BYTES, EdgeLogs
-from .encoding import TOMB_BIT
+from .encoding import SLOT_DTYPE, TOMB_BIT
 from .locks import SectionLockTable
 from .pma_tree import DensityBounds
 from .rebalance import (
@@ -133,7 +133,7 @@ def _normal_restart(host) -> None:
         fields["live_degree"], fields["el"],
     )
     pool.device.account_seq_read(nbytes, bucket="recovery")
-    host.logs.rebuild_counts()
+    host.logs.rebuild_counts(scalar=host.config.scalar_readpath)
     host.ea.recount_all()
     pool.device.account_seq_read(host.ea.capacity * 4, bucket="recovery")
 
@@ -154,7 +154,7 @@ def crash_recover(host) -> None:
 
     # (2) edge-log cursors (needed by the undo logs' pending clears)
     with trace("rebuild_log_cursors"):
-        host.logs.rebuild_counts()
+        host.logs.rebuild_counts(scalar=host.config.scalar_readpath)
 
     # (3) per-thread undo logs: restore / redo / finish clears
     reissue: List[Tuple[int, int]] = []
@@ -241,9 +241,20 @@ def _scrub_poison(host) -> None:
 
 
 def _scan_edge_array(host) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Vectorized pivot scan of the whole edge array (fast: PM sequential reads)."""
-    slots = host.ea.slots
-    cap = host.ea.capacity
+    """Pivot scan of the whole edge array in one accounted bulk load.
+
+    The scan reads the array through the device's bulk read layer (one
+    sequential stream over the capacity) and reduces it with prefix sums
+    over reused scratch; ``scalar_readpath`` selects the retained
+    per-slot reference with identical results and accounting.
+    """
+    if host.config.scalar_readpath:
+        return _scan_edge_array_scalar(host)
+    ea = host.ea
+    cap = ea.capacity
+    slots = host.pool.device.load_batch(
+        ea.region.offset, cap * 4, bucket="recovery"
+    ).view(SLOT_DTYPE)
     ppos = np.flatnonzero(slots < 0)
     vids = (-slots[ppos].astype(np.int64)) - 1
     nv = vids.size
@@ -254,18 +265,65 @@ def _scan_edge_array(host) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
             raise RecoveryError("pivot id space is not dense — image corrupt")
     starts = ppos + 1
     ends = np.append(ppos[1:], cap)
-    nz = np.concatenate([[0], np.cumsum(slots != 0, dtype=np.int64)])
+    sb = host.rebalancer.dram_scratch()
+    nz = sb.take("recovery.nz", cap + 1, np.int64)
+    nz[0] = 0
+    np.cumsum(slots != 0, dtype=np.int64, out=nz[1:])
     array_deg = nz[ends] - nz[starts]
-    tombmask = (slots > 0) & ((slots & TOMB_BIT) != 0)
-    tz = np.concatenate([[0], np.cumsum(tombmask, dtype=np.int64)])
+    tz = sb.take("recovery.tz", cap + 1, np.int64)
+    tz[0] = 0
+    np.cumsum((slots > 0) & ((slots & TOMB_BIT) != 0), dtype=np.int64, out=tz[1:])
     tombs = tz[ends] - tz[starts]
     live = array_deg - 2 * tombs
-    host.pool.device.account_seq_read(cap * 4, bucket="recovery")
     return starts.astype(np.int64), array_deg, live
 
 
+def _scan_edge_array_scalar(host) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-slot reference implementation of :func:`_scan_edge_array`."""
+    slots = host.ea.slots
+    cap = host.ea.capacity
+    vids: List[int] = []
+    starts: List[int] = []
+    array_deg: List[int] = []
+    live: List[int] = []
+    for i in range(cap):
+        s = int(slots[i])
+        if s < 0:
+            vids.append(-s - 1)
+            starts.append(i + 1)
+            array_deg.append(0)
+            live.append(0)
+        elif s != 0 and starts:
+            array_deg[-1] += 1
+            if s & int(TOMB_BIT):
+                live[-1] -= 1
+            else:
+                live[-1] += 1
+    nv = len(vids)
+    if nv:
+        if any(b <= a for a, b in zip(vids, vids[1:])):
+            raise RecoveryError("pivot ids are not strictly increasing — image corrupt")
+        if vids[0] != 0 or vids[-1] != nv - 1:
+            raise RecoveryError("pivot id space is not dense — image corrupt")
+    host.pool.device.account_seq_read(cap * 4, bucket="recovery")
+    return (
+        np.asarray(starts, dtype=np.int64),
+        np.asarray(array_deg, dtype=np.int64),
+        np.asarray(live, dtype=np.int64),
+    )
+
+
 def _replay_logs(host, nv: int, degree: np.ndarray, live: np.ndarray, el: np.ndarray) -> None:
-    """Fold valid edge-log entries back into the vertex metadata (§3.1.5 step 3)."""
+    """Fold valid edge-log entries back into the vertex metadata (§3.1.5 step 3).
+
+    Validity is decided from the log image; the valid entries are then
+    fetched with one random-read gather and folded in with unbuffered
+    scatter-adds.  ``scalar_readpath`` selects the retained per-entry
+    reference.
+    """
+    if host.config.scalar_readpath:
+        _replay_logs_scalar(host, nv, degree, live, el)
+        return
     logs = host.logs
     view = logs.region.view.reshape(logs.n_sections, logs.entries_per_section, 3)
     srcs = view[:, :, 0].ravel()
@@ -279,8 +337,9 @@ def _replay_logs(host, nv: int, degree: np.ndarray, live: np.ndarray, el: np.nda
     if n_entries == 0:
         return
     gidx = np.flatnonzero(valid)
-    s = srcs[valid].astype(np.int64) - 1
-    d = dsts[valid]
+    rows = logs.gather_entries(gidx, bucket="recovery")
+    s = rows[:, 0].astype(np.int64) - 1
+    d = rows[:, 1]
     if s.size and (s.max() >= nv or s.min() < 0):
         raise RecoveryError("edge-log entry references unknown vertex")
     np.add.at(degree, s, 1)
@@ -290,7 +349,34 @@ def _replay_logs(host, nv: int, degree: np.ndarray, live: np.ndarray, el: np.nda
     # chain head = the entry appended last; entries of one vertex all live
     # in one section per merge epoch, so the max global index is the head.
     np.maximum.at(el, s, gidx)
-    host.pool.device.account_rnd_read(n_entries, ENTRY_BYTES, bucket="recovery")
+
+
+def _replay_logs_scalar(
+    host, nv: int, degree: np.ndarray, live: np.ndarray, el: np.ndarray
+) -> None:
+    """Per-entry reference implementation of :func:`_replay_logs`."""
+    logs = host.logs
+    view = logs.region.view
+    total = logs.n_sections * logs.entries_per_section
+    n_entries = 0
+    for g in range(total):
+        p = g * 3
+        f0, f1, f2 = int(view[p]), int(view[p + 1]), int(view[p + 2])
+        if not (f0 and f1 and f2):
+            continue
+        n_entries += 1
+        s = f0 - 1
+        if s >= nv or s < 0:
+            raise RecoveryError("edge-log entry references unknown vertex")
+        degree[s] += 1
+        if f1 & int(TOMB_BIT):
+            live[s] -= 1
+        else:
+            live[s] += 1
+        if g > el[s]:
+            el[s] = g
+    if n_entries:
+        host.pool.device.account_rnd_read(n_entries, ENTRY_BYTES, bucket="recovery")
 
 
 def _reissue_window(host, lo_slot: int, hi_slot: int) -> None:

@@ -121,9 +121,9 @@ class DGAPSnapshot:
         deg_now = int(va.degree[v])
         skip = deg_now - deg_t  # entries appended after snapshot time
         take = deg_t - n_arr
-        chain = self.host.logs.walk_chain(int(va.el[v]), limit=skip + take)
-        picked = chain[skip : skip + take]  # newest-first slice we need
-        vals = np.fromiter((c[2] for c in reversed(picked)), dtype=SLOT_DTYPE, count=take)
+        _, _, dst_encs = self.host.logs.walk_chain_arrays(int(va.el[v]), limit=skip + take)
+        picked = dst_encs[skip : skip + take]  # newest-first slice we need
+        vals = picked[::-1].astype(SLOT_DTYPE)
         return np.concatenate([arr, vals])
 
     def out_neighbors(self, v: int) -> np.ndarray:

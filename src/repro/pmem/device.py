@@ -276,6 +276,61 @@ class PMemDevice:
         view.flags.writeable = False
         return view
 
+    def load_batch(self, off: int, n: int, bucket: Optional[str] = None) -> np.ndarray:
+        """Bulk sequential load of ``[off, off+n)`` — the read mirror of
+        :meth:`ntstore`.
+
+        Equivalent to ``read(off, n)`` followed by
+        ``account_seq_read(n, bucket)``: same poison enforcement, same
+        counters, the same single modeled-ns term.  Returns a read-only
+        view of the CPU-visible contents.  Reads never feed the crash
+        injector (they have no persistence side effects), so batching
+        them is always safe under an armed crash plan.
+        """
+        view = self.read(off, n)
+        self.account_seq_read(n, bucket=bucket)
+        if TRACE_HOOK is not None:
+            TRACE_HOOK("load", 1, n)
+        return view
+
+    def gather_span(self, offs: np.ndarray, unit: int, bucket: Optional[str] = None) -> np.ndarray:
+        """Gather ``n`` equal-size units at scattered offsets — the read
+        mirror of :meth:`flush_span`.
+
+        Counter- and modeled-ns-equivalent to ``for off in offs:
+        read(off, unit)`` plus one ``account_rnd_read(len(offs), unit,
+        bucket)``: ``n`` independent random-line reads of ``unit`` bytes
+        each.  Poison is enforced per covered cache line, in unit order,
+        before any cost is charged — exactly where the scalar replay
+        would fault.  Returns an ``(n, unit)`` uint8 copy of the
+        current contents.
+        """
+        offs = np.asarray(offs, dtype=np.int64)
+        n = int(offs.size)
+        if unit <= 0:
+            raise PMemError("gather_span: unit must be positive")
+        if n == 0:
+            return np.empty((0, unit), dtype=np.uint8)
+        self._check_range(int(offs.min()), 1)
+        self._check_range(int(offs.max()), unit)
+        if self._poisoned:
+            for line in self._unit_line_seq(offs, unit).tolist():
+                if line in self._poisoned:
+                    self.stats.media_errors += 1
+                    a = line * CACHE_LINE
+                    raise MediaError(
+                        f"uncorrectable media error gathering {n} x {unit} B: "
+                        f"poisoned line at offset {a}",
+                        off=a,
+                        length=CACHE_LINE,
+                    )
+        idx = offs[:, None] + np.arange(unit, dtype=np.int64)[None, :]
+        out = self.buf[idx]
+        self.account_rnd_read(n, unit, bucket=bucket)
+        if TRACE_HOOK is not None:
+            TRACE_HOOK("gather", n, n * unit)
+        return out
+
     def account_seq_read(self, nbytes: int, bucket: Optional[str] = None) -> None:
         """Charge a sequential streaming read of ``nbytes``."""
         ns = self.profile.seq_read_ns(nbytes)
@@ -649,6 +704,84 @@ class PMemDevice:
         self._recent_flushes = recent
         if TRACE_HOOK is not None:
             TRACE_HOOK("flush", m, m * CACHE_LINE)
+
+    def copyback_stream(self, src_off: int, dst_off: int, nbytes: int, chunk: int) -> None:
+        """Chunked on-device copy: replay of ``store(dst+i*chunk, buf[src+i*chunk:…]);
+        clwb(…)`` per chunk, without the trailing fence (the COPYBACK
+        redistribution stream of large rebalances).
+
+        Counter-equivalent to the scalar loop — every chunk's lines are
+        dirty and sequential at its flush, so each flush takes the bulk
+        sequential path — with the whole span copied in two NumPy moves.
+        Falls back to the literal loop under an armed crash injector
+        (mid-stream crashes must land at exact chunk boundaries) or the
+        persist-reorder simulation (per-line pending capture).
+        """
+        if nbytes <= 0:
+            return
+        self._check_range(src_off, nbytes)
+        self._check_range(dst_off, nbytes)
+        full = nbytes // chunk
+        rem = nbytes - full * chunk
+        if (
+            self._crash_sensitive()
+            or self._reorder
+            or full == 0
+            or chunk < _BULK_FLUSH_LINES * CACHE_LINE
+        ):
+            pos = 0
+            while pos < nbytes:
+                n = min(chunk, nbytes - pos)
+                data = self.buf[src_off + pos : src_off + pos + n].copy()
+                self.store(dst_off + pos, data, payload=0)
+                self.clwb(dst_off + pos, n)
+                pos += n
+            return
+
+        prof, st = self.profile, self.stats
+        a, b = dst_off, dst_off + full * chunk
+        # stores: one per chunk, landing in the cache image
+        self.injector.tick_many("store", full)
+        if src_off < b and a < src_off + full * chunk:
+            self.buf[a:b] = self.buf[src_off : src_off + full * chunk].copy()
+        else:
+            self.buf[a:b] = self.buf[src_off : src_off + full * chunk]
+        starts = dst_off + np.arange(full, dtype=np.int64) * chunk
+        first = starts // CACHE_LINE
+        last = (starts + chunk - 1) // CACHE_LINE
+        nl = last - first + 1
+        m = int(nl.sum())  # boundary lines shared by two chunks count twice
+        st.stores += full
+        st.stored_bytes += full * chunk
+        self._charge(m * prof.store_per_line_ns)
+        if TRACE_HOOK is not None:
+            TRACE_HOOK("store", full, full * chunk)
+
+        # flushes: each chunk replays the bulk sequential-stream path
+        self.injector.tick_many("flush", full)
+        span_first, span_last = a // CACHE_LINE, (b - 1) // CACHE_LINE
+        self.media[a:b] = self.buf[a:b]
+        if self._poisoned:
+            self._poisoned.difference_update(range(span_first, span_last + 1))
+        self._dirty.difference_update(range(span_first, span_last + 1))
+        st.flushes += m
+        st.flushed_lines += m
+        st.flushed_bytes += m * CACHE_LINE
+        st.seq_flushes += m
+        xp_first = first * CACHE_LINE // XPLINE
+        xp_last = last * CACHE_LINE // XPLINE
+        st.media_bytes += int((xp_last - xp_first + 1).sum()) * XPLINE
+        self._charge(m * prof.flush_seq_per_line_ns)
+        self._flush_op += m
+        self._last_flush_line = int(span_last)
+        self._last_media_xpline = int(xp_last[-1])
+        if TRACE_HOOK is not None:
+            TRACE_HOOK("flush", m, m * CACHE_LINE)
+
+        if rem:
+            data = self.buf[src_off + full * chunk : src_off + nbytes].copy()
+            self.store(dst_off + full * chunk, data, payload=0)
+            self.clwb(dst_off + full * chunk, rem)
 
     def sfence_batch(self, n: int) -> None:
         """``n`` back-to-back fences (one per persisted unit)."""

@@ -164,3 +164,67 @@ class TestUndoLog:
         b = UndoLog(pool, 1, 1024)
         a.begin(0, 10, PHASE_COMPACT)
         assert b.read_header().state == STATE_IDLE
+
+
+class TestChainArrayPaths:
+    """Ndarray chain walks: walk_chain_arrays and resolve_chains."""
+
+    def test_walk_chain_arrays_matches_walk_chain(self, pool):
+        logs = EdgeLogs(pool, 2, 16)
+        g = -1
+        for d in (4, 5, 6, 7):
+            g = logs.append(1, 9, int(encode_edge(d)), g)
+        gidxs, srcs, dst_encs = logs.walk_chain_arrays(g)
+        expect = logs.walk_chain(g)
+        assert list(zip(gidxs.tolist(), srcs.tolist(), dst_encs.tolist())) == expect
+        assert srcs.tolist() == [9, 9, 9, 9]
+
+    def test_walk_chain_arrays_limit_and_growth(self, pool):
+        logs = EdgeLogs(pool, 8, 64)
+        g = -1
+        for d in range(50):  # force the chain buffer to grow past 32
+            g = logs.append(0, 1, int(encode_edge(d)), g)
+        gidxs, _, dst_encs = logs.walk_chain_arrays(g)
+        assert gidxs.size == 50
+        assert dst_encs[0] == int(encode_edge(49))  # newest first
+        assert logs.walk_chain_arrays(g, limit=3)[0].size == 3
+
+    def test_resolve_chains_matches_per_head_walks(self, pool):
+        logs = EdgeLogs(pool, 4, 16)
+        heads = []
+        for v, n in ((0, 3), (1, 0), (2, 5), (3, 1)):
+            g = -1
+            for d in range(n):
+                g = logs.append(v % 4, v, int(encode_edge(d)), g)
+            heads.append(g)
+        counts, gidxs, dst_encs = logs.resolve_chains(
+            np.asarray(heads), expect_src=np.arange(4)
+        )
+        assert counts.tolist() == [3, 0, 5, 1]
+        off = 0
+        for h, c in zip(heads, counts.tolist()):
+            walked = logs.walk_chain(h) if h >= 0 else []
+            assert gidxs[off : off + c].tolist() == [w[0] for w in walked]
+            assert dst_encs[off : off + c].tolist() == [w[2] for w in walked]
+            off += c
+
+    def test_resolve_chains_no_heads(self, pool):
+        logs = EdgeLogs(pool, 2, 8)
+        counts, gidxs, dst_encs = logs.resolve_chains(np.asarray([-1, -1]))
+        assert counts.tolist() == [0, 0] and gidxs.size == 0 and dst_encs.size == 0
+
+    def test_resolve_chains_corrupt_root_raises(self, pool):
+        from repro.errors import GraphError
+
+        logs = EdgeLogs(pool, 2, 8)
+        head = logs.append(0, 6, int(encode_edge(1)), -1)  # oldest names src 6
+        with pytest.raises(GraphError, match="vertex 5"):
+            logs.resolve_chains(np.asarray([head]), expect_src=np.asarray([5]))
+
+    def test_gather_entries_matches_read_entry(self, pool):
+        logs = EdgeLogs(pool, 4, 16)
+        gs = [logs.append(i % 4, i, int(encode_edge(i + 1)), -1) for i in range(6)]
+        rows = logs.gather_entries(np.asarray(gs))
+        for row, g in zip(rows, gs):
+            src, dst_enc, back = logs.read_entry(g)
+            assert (int(row[0]) - 1, int(row[1]), int(row[2]) - 2) == (src, dst_enc, back)

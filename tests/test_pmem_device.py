@@ -327,3 +327,96 @@ class TestCrashInjection:
         with pytest.raises(SimulatedCrash):
             dev.store(8, b"y")
         assert plan.countdown == 2
+
+
+class TestBulkReads:
+    """The bulk read layer: load_batch / gather_span / copyback_stream."""
+
+    def test_load_batch_returns_bytes_and_accounts(self, dev):
+        dev.store(128, b"hello world")
+        twin = PMemDevice(64 * 1024, profile=OPTANE_ADR)
+        twin.store(128, b"hello world")
+        out = dev.load_batch(128, 11)
+        assert bytes(out) == b"hello world"
+        twin.read(128, 11)
+        twin.account_seq_read(11)
+        assert vars(dev.stats) == vars(twin.stats)
+
+    def test_load_batch_view_is_readonly(self, dev):
+        view = dev.load_batch(0, 8)
+        with pytest.raises(ValueError):
+            view[0] = 1
+
+    def test_gather_span_values_and_accounting(self, dev):
+        arr = np.arange(256, dtype=np.int32)
+        dev.store(0, arr)
+        twin = PMemDevice(64 * 1024, profile=OPTANE_ADR)
+        twin.store(0, arr)
+        offs = np.asarray([4, 64, 400, 12], dtype=np.int64)
+        rows = dev.gather_span(offs, 8)
+        assert rows.shape == (4, 8)
+        for r, off in zip(rows, offs):
+            np.testing.assert_array_equal(r, dev.buf[off : off + 8])
+        twin.account_rnd_read(4, 8)
+        assert vars(dev.stats) == vars(twin.stats)
+
+    def test_gather_span_empty_and_bounds(self, dev):
+        assert dev.gather_span(np.empty(0, dtype=np.int64), 8).shape == (0, 8)
+        with pytest.raises(PMemError):
+            dev.gather_span(np.asarray([dev.size - 4]), 8)
+        with pytest.raises(PMemError):
+            dev.gather_span(np.asarray([0]), 0)
+
+    def test_gather_span_poisoned_line_raises(self):
+        from repro.errors import MediaError
+
+        dev = PMemDevice(64 * 1024, profile=OPTANE_ADR)
+        dev.poison(XPLINE, 1)
+        with pytest.raises(MediaError):
+            dev.gather_span(np.asarray([XPLINE, 0]), 8)
+        assert dev.stats.media_errors == 1
+        # offsets on healthy lines still gather fine
+        assert dev.gather_span(np.asarray([0, CACHE_LINE]), 8).shape == (2, 8)
+
+    @pytest.mark.parametrize(
+        "src,dst,nbytes,chunk",
+        [
+            (0, 32768, 8192, 2048),    # aligned, exact chunks
+            (3, 32771, 8192, 2048),    # misaligned lines
+            (0, 32768, 9001, 2048),    # trailing partial chunk
+            (0, 32768, 700, 2048),     # smaller than one chunk
+        ],
+    )
+    def test_copyback_stream_matches_scalar_loop(self, src, dst, nbytes, chunk):
+        def fill(d):
+            rng = np.random.default_rng(7)
+            d.ntstore(0, rng.integers(0, 256, 16384, dtype=np.uint8))
+            d.sfence()
+
+        fast = PMemDevice(64 * 1024, profile=OPTANE_ADR)
+        ref = PMemDevice(64 * 1024, profile=OPTANE_ADR)
+        fill(fast)
+        fill(ref)
+        fast.copyback_stream(src, dst, nbytes, chunk)
+        pos = 0
+        while pos < nbytes:  # the literal scalar stream
+            n = min(chunk, nbytes - pos)
+            ref.store(dst + pos, ref.buf[src + pos : src + pos + n].copy(), payload=0)
+            ref.clwb(dst + pos, n)
+            pos += n
+        np.testing.assert_array_equal(fast.buf, ref.buf)
+        np.testing.assert_array_equal(fast.media, ref.media)
+        assert fast._dirty == ref._dirty
+        sa, sb = vars(fast.stats), vars(ref.stats)
+        ns_a, ns_b = sa.pop("modeled_ns"), sb.pop("modeled_ns")
+        assert sa == sb
+        assert ns_a == pytest.approx(ns_b)
+
+    def test_copyback_stream_falls_back_under_armed_injector(self):
+        inj = CrashInjector()
+        dev = PMemDevice(64 * 1024, injector=inj)
+        dev.ntstore(0, b"x" * 8192)
+        dev.sfence()
+        inj.arm(3, "flush")
+        with pytest.raises(SimulatedCrash):
+            dev.copyback_stream(0, 32768, 8192, 2048)
