@@ -212,6 +212,7 @@ def cmd_crash_sweep(args) -> None:
         torn_stores=base.torn_stores,
         persist_reorder=base.persist_reorder,
         poison_on_crash=args.poison,
+        transient_read_rate=args.transient_rate,
         seed=args.seed,
     )
     spec = get_dataset(args.dataset)
@@ -239,6 +240,51 @@ def cmd_crash_sweep(args) -> None:
             f"policy {args.policy}, seed {args.seed})"
         ),
     ))
+
+
+def cmd_soak(args) -> None:
+    from ..pmem.faults import FaultPolicy
+    from ..testing import SoakConfig, make_insert_workload, soak_sweep
+    from .reporting import soak_table
+
+    policy = FaultPolicy(
+        read_poison_rate=args.poison_rate,
+        transient_read_rate=args.transient_rate,
+        seed=args.seed,
+    )
+    spec = get_dataset(args.dataset)
+    edges = spec.generate(args.scale)[: args.edges]
+    nv = int(edges.max()) + 1 if edges.size else 1
+    # A tight initial capacity keeps the PMA under pressure so the run
+    # exercises log appends, merges, and rebalance windows — the demand
+    # bulk-read paths where transient faults surface.
+    cfg = DGAPConfig(init_vertices=nv, init_edges=max(len(edges) // 2, 256))
+
+    def make_graph(injector, faults):
+        return DGAP(cfg, injector=injector, faults=faults)
+
+    report = soak_sweep(
+        make_graph,
+        make_insert_workload(edges),
+        SoakConfig(
+            faults=policy,
+            rounds=args.rounds,
+            scrub_every=args.scrub_every,
+            patrol_bytes=args.patrol_kib * 1024,
+        ),
+    )
+    print(soak_table(
+        report,
+        title=(
+            f"soak sweep — {args.dataset} ({len(edges)} edges, "
+            f"{args.rounds} rounds, seed {args.seed})"
+        ),
+    ))
+    if report.fault_points < args.min_fault_points:
+        raise SystemExit(
+            f"soak survived only {report.fault_points} fault points "
+            f"(< {args.min_fault_points}); raise rates or edges"
+        )
 
 
 def cmd_race_check(args) -> None:
@@ -348,11 +394,37 @@ def main(argv=None) -> int:
     p.add_argument("--policy", choices=_SWEEP_POLICIES, default="default")
     p.add_argument("--poison", type=float, default=0.0,
                    help="probability a lost line is poisoned at crash (media faults)")
+    p.add_argument("--transient-rate", type=float, default=0.0,
+                   help="per-line transient read-fault rate during recovery "
+                        "(runtime fault model; retried with modeled backoff)")
     p.add_argument("--points", type=int, default=200,
                    help="sampled crash points when above the exhaustive threshold")
     p.add_argument("--exhaustive-threshold", type=int, default=1000)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_crash_sweep)
+
+    p = sub.add_parser(
+        "soak",
+        help="runtime-fault soak: ingest→scrub→analyze rounds with the "
+             "no-silent-corruption oracle (robustness)",
+    )
+    p.add_argument("--dataset", choices=sorted(DATASETS), default="orkut")
+    p.add_argument("--scale", type=float, default=0.05)
+    p.add_argument("--edges", type=int, default=8000,
+                   help="cap the workload to this many edges")
+    p.add_argument("--rounds", type=int, default=5)
+    p.add_argument("--scrub-every", type=int, default=25,
+                   help="patrol-scrub step every this-many inserts")
+    p.add_argument("--patrol-kib", type=int, default=64,
+                   help="patrol-scrub window size (KiB)")
+    p.add_argument("--poison-rate", type=float, default=1e-3,
+                   help="per-line spontaneous-decay rate on reads/scrub")
+    p.add_argument("--transient-rate", type=float, default=1e-2,
+                   help="per-line transient read-fault rate (retried)")
+    p.add_argument("--min-fault-points", type=int, default=200,
+                   help="fail unless at least this many fault points fired")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_soak)
 
     p = sub.add_parser(
         "race-check",

@@ -121,6 +121,7 @@ def crash_sweep_table(report, title: str = "crash sweep") -> str:
             ("torn-stores", pol.torn_stores),
             ("persist-reorder", pol.persist_reorder),
             (f"poison={pol.poison_on_crash}", pol.poison_on_crash > 0),
+            (f"transient={pol.transient_read_rate:g}", pol.transient_read_rate > 0),
         ) if on
     ) or "none (clean ADR)"
     rows = [
@@ -132,10 +133,49 @@ def crash_sweep_table(report, title: str = "crash sweep") -> str:
         ("unrecoverable (reported)", report.unrecoverable_count()),
     ]
     stats = report.recovery_stats()
-    for key in ("min_us", "p50_us", "mean_us", "p95_us", "max_us"):
+    for key in ("min_us", "p50_us", "mean_us", "p90_us", "p95_us", "max_us"):
         if key in stats:
             rows.append((f"recovery {key[:-3]} (us)", stats[key]))
     return format_table(title, ["metric", "value"], rows, floatfmt="{:.2f}")
+
+
+def soak_table(report, title: str = "soak sweep") -> str:
+    """Summarize a :class:`~repro.testing.SoakReport` (PR 7 robustness).
+
+    Header rows give the run-level verdict — fault points survived,
+    final health, damage accounting, and which oracle legs ran — then
+    one row per round with that round's fault/repair activity.
+    """
+    pol = report.config.faults
+    head = [
+        ("ops applied / total", f"{report.ops_applied} / {report.ops_total}"),
+        ("ops skipped (enumerated)", report.ops_skipped),
+        ("fault points survived", report.fault_points),
+        ("  transient (retried)", report.transient_faults),
+        ("  hard poison", report.poison_events),
+        ("quarantined ranges", report.quarantined),
+        ("lost edges (enumerated)", report.lost_edges),
+        ("final health", report.health.value),
+        ("byte-identity checked", "yes" if report.byte_compared else "no (lossy divergence)"),
+        ("fault policy", f"poison={pol.read_poison_rate:g} transient={pol.transient_read_rate:g} seed={pol.seed}"),
+    ]
+    out = [format_table(title, ["metric", "value"], head)]
+    rows = [
+        (
+            r.round_index, r.ops_applied, r.scrub_steps,
+            r.transient_faults, r.read_retries, r.poison_events,
+            r.quarantined, r.lost_edges, r.health.value,
+            r.analysis_result if r.analyzed else "-",
+        )
+        for r in report.rounds
+    ]
+    out.append(format_table(
+        f"{title} — per round",
+        ["round", "ops", "scrubs", "transient", "retries", "poison",
+         "quarantined", "lost", "health", "edges seen"],
+        rows,
+    ))
+    return "\n\n".join(out)
 
 
 def race_check_table(report, title: str = "race check") -> str:
@@ -266,6 +306,7 @@ __all__ = [
     "ingest_phase_table",
     "analysis_loop_table",
     "crash_sweep_table",
+    "soak_table",
     "profile_table",
     "race_check_table",
     "race_check_dry_table",

@@ -196,6 +196,14 @@ def _scrub_poison(host) -> None:
     live edge array or logs, undo-log headers, an ACTIVE backup payload,
     a COPYBACK scratch source — is unrecoverable data loss and raises
     :class:`RecoveryError` naming the region.
+
+    Poisoned line ranges are split at region boundaries and every part
+    classified by its own region — a single line can straddle a dead
+    region and a live one, and classifying the whole range by its first
+    byte would either zero live data or refuse a repairable range.
+    Poison in unallocated space (nothing recovery reads) is repairable.
+    A range whose parts are all repairable is rewritten in one store so
+    the whole ECC line is made whole even when parts split it.
     """
     from .undo_log import STATE_ACTIVE, STATE_COPYBACK
 
@@ -226,16 +234,42 @@ def _scrub_poison(host) -> None:
             return int(name.rsplit("g", 1)[1]) != gen  # dead generation
         return False
 
+    from ..pmem import pool as pool_mod
+
+    def split_parts(off: int, n: int):
+        """``(off, n, name)`` parts of a range, cut at region bounds."""
+        out = []
+        starts = sorted(s for s, _, _ in pool._directory.values())
+        cur, end = off, off + n
+        while cur < end:
+            hit = pool.region_of(cur)
+            if hit is not None:
+                nxt = min(hit[2], end)
+            else:
+                nxt = min([s for s in starts if s > cur] + [end])
+            out.append((cur, nxt - cur, hit[0] if hit else None))
+            cur = nxt
+        return out
+
     for off, n in ranges:
-        hit = pool.region_of(off)
-        if hit is None or not repairable(hit[0], off, n):
-            where = hit[0] if hit else "pool metadata"
-            raise RecoveryError(
-                f"uncorrectable media error in {where!r} at offset {off} "
-                f"({n} bytes): persistent image is damaged beyond repair"
-            )
+        for poff, pn, name in split_parts(off, n):
+            if name is None:
+                if poff < pool_mod._DATA_OFF:
+                    raise RecoveryError(
+                        f"uncorrectable media error in 'pool metadata' at "
+                        f"offset {poff} ({pn} bytes): persistent image is "
+                        f"damaged beyond repair"
+                    )
+                continue  # unallocated space: content unused, zeros fine
+            if not repairable(name, poff, pn):
+                raise RecoveryError(
+                    f"uncorrectable media error in {name!r} at offset {poff} "
+                    f"({pn} bytes): persistent image is damaged beyond repair"
+                )
         # Rewriting the lines clears the poison; the content is dead, so
-        # zeros are as good as anything.
+        # zeros are as good as anything.  One store over the whole range:
+        # per-part partial-line stores would leave a straddled ECC line
+        # poisoned (the device only clears fully rewritten lines).
         dev.ntstore(off, np.zeros(n, dtype=np.uint8), payload=0)
     dev.sfence()
 

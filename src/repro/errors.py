@@ -118,3 +118,13 @@ class SnapshotError(GraphError):
 
 class RecoveryError(GraphError):
     """The persistent image could not be recovered into a valid graph."""
+
+
+class ReadOnlyGraphError(GraphError):
+    """A write was attempted on an instance in the READ_ONLY health state.
+
+    The resilience layer (:mod:`repro.resilience`) demotes a live DGAP
+    instance to READ_ONLY when it quarantines media damage it cannot
+    repair — further writes could compound the loss, but reads over the
+    undamaged remainder stay valid and keep being served.
+    """

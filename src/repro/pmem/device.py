@@ -32,6 +32,7 @@ which the graph views know exactly.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Optional, Union
 
 import numpy as np
@@ -105,6 +106,14 @@ class PMemDevice:
         # line is rewritten on media.  Tracked per cache line, planted
         # per XPLine (the DCPMM ECC granularity).
         self._poisoned: set[int] = set()
+
+        # Runtime read-fault hazard (opt-in): one deterministic RNG
+        # stream, drawn one uniform per covered cache line in read order,
+        # so a bulk read and its per-unit scalar replay see identical
+        # faults.  ``None`` under any policy without runtime rates —
+        # default-policy read paths take exactly the historical branches.
+        self._rt_rng = self.faults.rng_runtime() if self.faults.runtime_active else None
+        self._rt_suspend = 0
 
         #: how many crashes this device has suffered (fault-rng stream id)
         self.crash_ordinal = 0
@@ -260,18 +269,22 @@ class PMemDevice:
         recovery scrub (DESIGN.md §6).
         """
         self._check_range(off, n)
-        if self._poisoned and n > 0:
+        rt = self._rt_rng is not None and self._rt_suspend == 0
+        if (self._poisoned or rt) and n > 0:
+            ctx = f"reading [{off}, {off + n})"
             first, last = off // CACHE_LINE, (off + n - 1) // CACHE_LINE
             for line in range(first, last + 1):
                 if line in self._poisoned:
                     self.stats.media_errors += 1
                     a = line * CACHE_LINE
                     raise MediaError(
-                        f"uncorrectable media error reading [{off}, {off + n}): "
+                        f"uncorrectable media error {ctx}: "
                         f"poisoned line at offset {a}",
                         off=a,
                         length=CACHE_LINE,
                     )
+                if rt:
+                    self._rt_check_line(line, ctx)
         view = self.buf[off : off + n]
         view.flags.writeable = False
         return view
@@ -313,17 +326,21 @@ class PMemDevice:
             return np.empty((0, unit), dtype=np.uint8)
         self._check_range(int(offs.min()), 1)
         self._check_range(int(offs.max()), unit)
-        if self._poisoned:
+        rt = self._rt_rng is not None and self._rt_suspend == 0
+        if self._poisoned or rt:
+            ctx = f"gathering {n} x {unit} B"
             for line in self._unit_line_seq(offs, unit).tolist():
                 if line in self._poisoned:
                     self.stats.media_errors += 1
                     a = line * CACHE_LINE
                     raise MediaError(
-                        f"uncorrectable media error gathering {n} x {unit} B: "
+                        f"uncorrectable media error {ctx}: "
                         f"poisoned line at offset {a}",
                         off=a,
                         length=CACHE_LINE,
                     )
+                if rt:
+                    self._rt_check_line(line, ctx)
         idx = offs[:, None] + np.arange(unit, dtype=np.int64)[None, :]
         out = self.buf[idx]
         self.account_rnd_read(n, unit, bucket=bucket)
@@ -935,6 +952,94 @@ class PMemDevice:
     # ------------------------------------------------------------------
     # media poison (uncorrectable errors)
     # ------------------------------------------------------------------
+    def _rt_check_line(self, line: int, ctx: str) -> None:
+        """Runtime hazard draws for one cache-line read (policy opt-in).
+
+        Called once per covered line, in the order the equivalent scalar
+        replay would read them (the caller has already established the
+        line is not poisoned).  Draw protocol per line — one uniform for
+        spontaneous decay, one for a transient fault, plus one per retry
+        attempt — is fixed so that bulk and scalar read paths consume
+        the identical RNG stream and therefore see identical faults.
+        """
+        pol = self.faults
+        rng = self._rt_rng
+        if pol.read_poison_rate > 0.0 and rng.random() < pol.read_poison_rate:
+            self._rt_escalate(line, ctx, "spontaneous media decay")
+        if pol.transient_read_rate > 0.0 and rng.random() < pol.transient_read_rate:
+            st = self.stats
+            st.transient_faults += 1
+            backoff = pol.retry_backoff_ns
+            for _ in range(pol.read_retries):
+                st.read_retries += 1
+                self._charge(backoff)
+                st.add_bucket("fault-retry", backoff)
+                if rng.random() >= pol.transient_read_rate:
+                    return  # recovered transparently; caller never sees it
+            self._rt_escalate(
+                line, ctx,
+                f"transient fault persisted through {pol.read_retries} retries,",
+            )
+
+    def _rt_escalate(self, line: int, ctx: str, why: str) -> None:
+        """Confirm a runtime read fault as hard: poison the XPLine, raise."""
+        a = line * CACHE_LINE
+        self.poison(a, CACHE_LINE)
+        self.stats.runtime_poison_events += 1
+        self.stats.media_errors += 1
+        raise MediaError(
+            f"uncorrectable media error {ctx}: {why} poisoned line at offset {a}",
+            off=a,
+            length=CACHE_LINE,
+        )
+
+    @contextmanager
+    def suspend_runtime_faults(self):
+        """Disable runtime read-fault draws inside the ``with`` block.
+
+        Used by the resilience layer so scrub/repair reads — and any
+        diagnostic re-reads — neither re-fault nor perturb the hazard
+        RNG stream.  Re-entrant; a no-op when runtime faults are off.
+        """
+        self._rt_suspend += 1
+        try:
+            yield
+        finally:
+            self._rt_suspend -= 1
+
+    def scrub_scan(self, off: int, n: int, bucket: Optional[str] = "scrub") -> list:
+        """Patrol-read a window at media granularity, surfacing decay.
+
+        Models DCPMM address-range scrub (ARS): charges one sequential
+        read over the window, draws the spontaneous-decay hazard for
+        every covered cache line from the same runtime RNG stream demand
+        reads use, and marks failing lines poisoned **without raising**
+        — a scrubber detects damage, it does not consume the data.
+        Returns the newly poisoned ``(off, nbytes)`` line ranges.
+        Transient faults are not modeled here: a patrol read that fails
+        transiently is simply covered again by the next pass.
+        """
+        self._check_range(off, n)
+        self.account_seq_read(n, bucket=bucket)
+        pol = self.faults
+        if (
+            self._rt_rng is None
+            or self._rt_suspend
+            or pol.read_poison_rate <= 0.0
+        ):
+            return []
+        l0 = off // CACHE_LINE
+        l1 = (off + max(n, 1) - 1) // CACHE_LINE + 1
+        draws = self._rt_rng.random(l1 - l0)
+        found = []
+        for i in np.flatnonzero(draws < pol.read_poison_rate):
+            a = (l0 + int(i)) * CACHE_LINE
+            if not self.check_poison(a, CACHE_LINE):
+                self.poison(a, CACHE_LINE)
+                self.stats.runtime_poison_events += 1
+                found.append((a, CACHE_LINE))
+        return found
+
     def poison(self, off: int, n: int = 1) -> None:
         """Mark the XPLine(s) covering ``[off, off+n)`` as uncorrectable.
 

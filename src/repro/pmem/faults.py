@@ -25,9 +25,27 @@ here behind an opt-in :class:`FaultPolicy`:
   :meth:`~repro.pmem.device.PMemDevice.read` until it is rewritten.
   Poison can also be planted explicitly via ``device.poison``.
 
-All randomness derives from ``seed`` and the device's crash ordinal, so
-a sweep that replays the same workload with the same policy is fully
-deterministic.
+On top of the crash-time model, two **runtime** fault kinds model media
+errors that surface during normal operation (EUNCORR on load — the
+regime the resilience layer in :mod:`repro.resilience` handles without
+a restart):
+
+* **spontaneous read-time poison** — every cache line covered by an
+  accounted device read (``read``/``load_batch``/``gather_span``) decays
+  with per-line probability ``read_poison_rate``; the covering XPLine
+  is poisoned and the read raises :class:`~repro.errors.MediaError`, on
+  exactly the line the equivalent scalar replay would have faulted on.
+* **transient read faults** — with per-line probability
+  ``transient_read_rate`` a line read fails *retriably*: the device
+  retries up to ``read_retries`` times, charging ``retry_backoff_ns``
+  modeled nanoseconds per attempt, and recovers transparently; a line
+  that stays faulty through every retry escalates to hard poison.
+
+Crash randomness derives from ``seed`` and the device's crash ordinal;
+runtime randomness from ``seed`` alone, drawn one uniform per line in
+read order — so replaying the same workload with the same policy sees
+the same faults, and bulk reads draw the identical stream a per-unit
+scalar replay would.
 """
 
 from __future__ import annotations
@@ -50,24 +68,60 @@ class FaultPolicy:
     poison_on_crash: float = 0.0
     """Probability that a line losing data at crash poisons its XPLine."""
 
+    read_poison_rate: float = 0.0
+    """Per-line-read probability of spontaneous uncorrectable decay."""
+
+    transient_read_rate: float = 0.0
+    """Per-line-read probability of a transient (retriable) read fault."""
+
+    read_retries: int = 3
+    """Bounded retries before a persistent transient escalates to poison."""
+
+    retry_backoff_ns: float = 250.0
+    """Modeled nanoseconds charged per transient retry attempt."""
+
     seed: int = 0
     """Base seed; combined with the crash ordinal per crash event."""
 
     def __post_init__(self) -> None:
-        if not 0.0 <= self.poison_on_crash <= 1.0:
-            raise ValueError("poison_on_crash must be a probability in [0, 1]")
+        for name in ("poison_on_crash", "read_poison_rate", "transient_read_rate"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ValueError(f"{name} must be a probability in [0, 1]")
+        if self.read_retries < 0:
+            raise ValueError("read_retries must be >= 0")
+        if self.retry_backoff_ns < 0.0:
+            raise ValueError("retry_backoff_ns must be >= 0")
 
     @property
     def active(self) -> bool:
-        """True when any fault mode deviates from the clean ADR model."""
+        """True when any crash-time fault mode deviates from clean ADR."""
         return self.torn_stores or self.persist_reorder or self.poison_on_crash > 0.0
+
+    @property
+    def runtime_active(self) -> bool:
+        """True when reads can fault during normal (non-crash) operation."""
+        return self.read_poison_rate > 0.0 or self.transient_read_rate > 0.0
 
     def rng_for_crash(self, ordinal: int) -> np.random.Generator:
         """Deterministic per-crash generator (``ordinal`` = 0, 1, ...)."""
         return np.random.default_rng((self.seed, ordinal))
 
+    def rng_runtime(self) -> np.random.Generator:
+        """Deterministic runtime-hazard generator (one stream per device).
+
+        Keyed off the crash-ordinal space (``_RUNTIME_STREAM`` is far
+        above any real crash count) so runtime draws never collide with
+        a crash's stream.
+        """
+        return np.random.default_rng((self.seed, _RUNTIME_STREAM))
+
     def with_seed(self, seed: int) -> "FaultPolicy":
         return replace(self, seed=seed)
+
+
+#: Sub-stream id for the runtime-hazard generator (outside any plausible
+#: crash-ordinal range).
+_RUNTIME_STREAM = 0x52_55_4E
 
 
 #: The clean ADR model (whole-line all-or-nothing) — the default.
@@ -82,6 +136,10 @@ PERSIST_REORDER = FaultPolicy(persist_reorder=True)
 #: Everything at once (torn + reorder) — the adversarial sweep policy.
 ADVERSARIAL = FaultPolicy(torn_stores=True, persist_reorder=True)
 
+#: Runtime media decay for soak sweeps: spontaneous read-time poison and
+#: transient faults at rates that exercise repair without drowning it.
+RUNTIME_HAZARD = FaultPolicy(read_poison_rate=1e-4, transient_read_rate=1e-3)
+
 
 __all__ = [
     "FaultPolicy",
@@ -89,4 +147,5 @@ __all__ = [
     "TORN_STORES",
     "PERSIST_REORDER",
     "ADVERSARIAL",
+    "RUNTIME_HAZARD",
 ]

@@ -55,6 +55,11 @@ class PMemStats:
     poisoned_xplines: int = 0
     media_errors: int = 0
 
+    # -- runtime read faults (opt-in; always zero under DEFAULT_POLICY) ----
+    transient_faults: int = 0
+    read_retries: int = 0
+    runtime_poison_events: int = 0
+
     # -- modeled time ------------------------------------------------------
     modeled_ns: float = 0.0
 

@@ -29,6 +29,13 @@ from .racecheck import (
     race_check,
     run_scenario,
 )
+from .soaksweep import (
+    SoakConfig,
+    SoakFailure,
+    SoakReport,
+    SoakRoundResult,
+    soak_sweep,
+)
 from .schedules import (
     DeterministicScheduler,
     ExplorationReport,
@@ -53,6 +60,10 @@ __all__ = [
     "ScheduleDeadlock",
     "ScheduleError",
     "ScheduleTrace",
+    "SoakConfig",
+    "SoakFailure",
+    "SoakReport",
+    "SoakRoundResult",
     "SweepConfig",
     "SweepFailure",
     "SweepReport",
@@ -67,5 +78,6 @@ __all__ = [
     "race_check",
     "run_schedule",
     "run_scenario",
+    "soak_sweep",
     "verify_recovered_graph",
 ]

@@ -124,6 +124,7 @@ class SweepReport:
             "min_us": float(ns.min()) * 1e-3,
             "p50_us": float(np.percentile(ns, 50)) * 1e-3,
             "mean_us": float(ns.mean()) * 1e-3,
+            "p90_us": float(np.percentile(ns, 90)) * 1e-3,
             "p95_us": float(np.percentile(ns, 95)) * 1e-3,
             "max_us": float(ns.max()) * 1e-3,
         }
@@ -369,7 +370,7 @@ def crash_sweep(
                 rec_ns = pool.stats.modeled_ns - ns0
         except (RecoveryError, MediaError) as exc:
             inj.disarm()
-            if cfg.faults.poison_on_crash <= 0.0:
+            if cfg.faults.poison_on_crash <= 0.0 and not cfg.faults.runtime_active:
                 raise SweepFailure(
                     f"[{where}] recovery refused a crash image produced with "
                     f"no media faults configured: {exc}"

@@ -1,0 +1,403 @@
+"""Soak-sweep driver: sustained ingest under *runtime* media faults.
+
+The crash sweep (:mod:`repro.testing.crashsweep`) proves every power-cut
+boundary recovers; this driver proves the complementary claim for PR 7:
+a **live** instance survives uncorrectable media errors raised *during*
+normal operation.  One soak run drives ``T`` rounds of
+
+    guarded ingest  →  patrol scrub  →  analytics
+
+against a graph whose device injects spontaneous read poison and
+transient read faults (:class:`~repro.pmem.faults.FaultPolicy` runtime
+fields), with every fault routed through the
+:class:`~repro.resilience.ResilienceManager` repair path.  A fault-free
+**twin** — same factory, same op stream, runtime faults off, no manager
+— is grown alongside as the reference.
+
+The **no-silent-corruption oracle** at the end of the run:
+
+* if no lossy repair occurred, every vertex's neighbor sequence on the
+  subject equals the twin's exactly; after a lossy repair (compaction
+  frees run slots the twin doesn't have, so later inserts legitimately
+  land in different positions) the subject's neighbor *multiset* must
+  be contained in the twin's with the shortfall equal exactly to the
+  per-vertex losses enumerated in the final
+  :class:`~repro.resilience.DamageReport` — an edge may be lost to
+  media damage only if the report names it;
+* structural invariants hold and the edge-log cursors match an
+  independent rebuild (same checks as the crash-sweep oracle);
+* no latent poison: unless the instance went READ_ONLY, every poisoned
+  line was found and repaired by the end of the run;
+* if no lossy/unrecoverable repair occurred, the subject's device bytes
+  equal the twin's everywhere outside the report's
+  :meth:`~repro.resilience.DamageReport.inexact_ranges`;
+* a **fault-free** soak (runtime rates zero) must be byte-identical to
+  the unmanaged twin and identical on every write-side counter — the
+  resilience machinery is provably free when nothing fails.
+
+Violations raise :class:`SoakFailure` naming the vertex/range.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import MediaError, ReadOnlyGraphError
+from ..pmem.crash import CrashInjector
+from ..pmem.faults import FaultPolicy, RUNTIME_HAZARD
+from ..resilience import DamageReport, HealthState, ResilienceManager
+from .crashsweep import GraphFactory, Op, make_insert_workload
+
+#: Stats fields that must be identical between a managed fault-free run
+#: and the unmanaged twin (reads/modeled time are exempt: patrol scrub
+#: legitimately charges sequential-read time to the ``scrub`` bucket).
+_WRITE_COUNTERS = (
+    "stores", "stored_bytes", "payload_bytes",
+    "flushes", "flushed_lines", "flushed_bytes",
+    "seq_flushes", "rnd_flushes", "inplace_flushes", "media_bytes",
+    "fences", "ntstores", "ntstored_bytes",
+    "crashes", "torn_lines", "dropped_pending_lines",
+    "poisoned_xplines", "media_errors",
+    "transient_faults", "read_retries", "runtime_poison_events",
+)
+
+
+class SoakFailure(AssertionError):
+    """The no-silent-corruption oracle rejected a soak run."""
+
+
+@dataclass
+class SoakConfig:
+    """Knobs for one soak run."""
+
+    faults: FaultPolicy = RUNTIME_HAZARD
+    rounds: int = 4
+    """Ingest→scrub→analyze rounds; the op stream is split evenly."""
+    scrub_every: int = 64
+    """Run one patrol-scrub step every this-many guarded inserts."""
+    patrol_bytes: int = 64 * 1024
+    analyze_rounds: bool = True
+    """Run a guarded analytics kernel (edge count over a consistent
+    view) at the end of every round."""
+    max_retries: int = 3
+    check_invariants: bool = True
+    check_log_cursors: bool = True
+
+
+@dataclass
+class SoakRoundResult:
+    """What one round observed (all counts are per-round deltas)."""
+
+    round_index: int
+    ops_applied: int
+    scrub_steps: int
+    transient_faults: int
+    read_retries: int
+    poison_events: int
+    quarantined: int
+    lost_edges: int
+    health: HealthState
+    analyzed: bool = False
+    analysis_result: Optional[object] = None
+
+
+@dataclass
+class SoakReport:
+    """Everything a soak run learned; feeds the §4.4-style soak table."""
+
+    config: SoakConfig
+    rounds: List[SoakRoundResult] = field(default_factory=list)
+    report: Optional[DamageReport] = None
+    ops_applied: int = 0
+    ops_total: int = 0
+    read_only: bool = False
+    ops_skipped: int = 0
+    """Inserts dropped after exhausting repair-retries without landing
+    (skipped on the twin too, so they are not corruption)."""
+    byte_compared: bool = False
+    """Whether the run qualified for the byte-identity check (no lossy
+    or unrecoverable repair diverged the layouts)."""
+
+    @property
+    def health(self) -> HealthState:
+        return self.report.health if self.report else HealthState.HEALTHY
+
+    @property
+    def fault_points(self) -> int:
+        """Distinct injected fault events the run survived."""
+        return sum(r.transient_faults + r.poison_events for r in self.rounds)
+
+    @property
+    def transient_faults(self) -> int:
+        return sum(r.transient_faults for r in self.rounds)
+
+    @property
+    def poison_events(self) -> int:
+        return sum(r.poison_events for r in self.rounds)
+
+    @property
+    def lost_edges(self) -> int:
+        return self.report.lost_edges if self.report else 0
+
+    @property
+    def quarantined(self) -> int:
+        return self.report.n_quarantined if self.report else 0
+
+
+# ----------------------------------------------------------------------
+# oracle helpers
+# ----------------------------------------------------------------------
+def _lost_per_vertex(report: DamageReport) -> Dict[int, int]:
+    lost: Dict[int, int] = {}
+    for e in report.entries:
+        for v, n in e.lost_by_vertex:
+            lost[v] = lost.get(v, 0) + n
+    return lost
+
+
+def _check_vertex(
+    v: int, got: List[int], want: List[int], lost_v: int,
+    *, strict: bool, relax: bool = False,
+) -> None:
+    """One vertex of the containment-with-enumerated-shortfall oracle.
+
+    ``strict`` (no lossy repair diverged the layouts) demands the exact
+    twin sequence.  After a lossy repair the compacted run has gaps the
+    twin's doesn't, so later inserts legitimately land in different
+    *positions* — neighbor order is not an API guarantee — but the
+    multiset must still be contained in the twin's with the shortfall
+    exactly the enumerated losses.  ``relax`` admits the one op that
+    was in flight when the instance went READ_ONLY.
+    """
+    if strict and not relax:
+        if got != want:
+            raise SoakFailure(
+                f"vertex {v}: subject neighbors {got} != fault-free twin's "
+                f"{want} despite no lossy repair (silent divergence)"
+            )
+        return
+    extra = Counter(got) - Counter(want)
+    if extra:
+        raise SoakFailure(
+            f"vertex {v}: subject has neighbors {dict(extra)} beyond the "
+            f"fault-free twin's (phantom or duplicate edge introduced by "
+            f"a repair or retry)"
+        )
+    short = len(want) - len(got)
+    if short != lost_v and not (relax and 0 <= short - lost_v <= 1):
+        raise SoakFailure(
+            f"silent corruption at vertex {v}: twin has {len(want)} edges, "
+            f"subject has {len(got)}, but the DamageReport enumerates only "
+            f"{lost_v} lost edges for it"
+        )
+
+
+def _structural_checks(g, cfg: SoakConfig, where: str) -> None:
+    if cfg.check_invariants:
+        try:
+            g.check_invariants()
+        except Exception as exc:
+            raise SoakFailure(f"[{where}] structural invariants violated: {exc}") from exc
+    if cfg.check_log_cursors:
+        from ..core.edge_log import EdgeLogs
+
+        fresh = EdgeLogs(
+            g.pool, g.logs.n_sections, g.logs.entries_per_section,
+            gen=g.ea.gen, create=False,
+        )
+        fresh.rebuild_counts()
+        if not (
+            np.array_equal(fresh.counts, g.logs.counts)
+            and np.array_equal(fresh.live_counts, g.logs.live_counts)
+        ):
+            raise SoakFailure(
+                f"[{where}] edge-log cursors disagree with an independent rebuild"
+            )
+
+
+def _byte_compare(subject_dev, twin_dev, exempt: Sequence[Tuple[int, int]]) -> None:
+    a, b = subject_dev.buf, twin_dev.buf
+    if a.size != b.size:
+        raise SoakFailure("subject and twin devices differ in size")
+    diff = a != b
+    for lo, hi in exempt:
+        diff[lo:hi] = False
+    bad = np.flatnonzero(diff)
+    if bad.size:
+        raise SoakFailure(
+            f"{bad.size} device bytes differ from the fault-free twin outside "
+            f"the report's inexact ranges (first at offset {int(bad[0])}) — "
+            f"a repair was not byte-exact where it claimed to be"
+        )
+
+
+# ----------------------------------------------------------------------
+# the driver
+# ----------------------------------------------------------------------
+def soak_sweep(
+    make_graph: GraphFactory,
+    ops: Sequence[Op],
+    config: Optional[SoakConfig] = None,
+) -> SoakReport:
+    """Soak ``ops`` through a managed graph under runtime faults.
+
+    ``make_graph(injector, faults)`` is the crash-sweep factory shape;
+    it is called twice, once with ``config.faults`` (the subject) and
+    once with the runtime-fault fields zeroed (the fault-free twin).
+    The workload must be insert-only: a lost tombstone would silently
+    *resurrect* an edge, which no containment oracle can distinguish
+    from a phantom insert.  Raises :class:`SoakFailure` on the first
+    oracle violation; otherwise returns a :class:`SoakReport`.
+    """
+    cfg = config or SoakConfig()
+    ops = list(ops)
+    if any(op[0] != "insert" for op in ops):
+        raise ValueError("soak workloads must be insert-only")
+    if cfg.rounds <= 0:
+        raise ValueError("rounds must be positive")
+
+    clean = dataclasses.replace(
+        cfg.faults, read_poison_rate=0.0, transient_read_rate=0.0
+    )
+    subject = make_graph(CrashInjector(), cfg.faults)
+    twin = make_graph(CrashInjector(), clean)
+    mgr = ResilienceManager(
+        subject, patrol_bytes=cfg.patrol_bytes, max_retries=cfg.max_retries
+    )
+
+    out = SoakReport(config=cfg, ops_total=len(ops))
+    stats = subject.pool.stats
+    per_round = max(1, -(-len(ops) // cfg.rounds))
+    applied = 0
+    in_flight: Optional[Op] = None
+
+    for r in range(cfg.rounds):
+        chunk = ops[r * per_round : (r + 1) * per_round]
+        if not chunk and r > 0:
+            break
+        before = stats.snapshot()
+        q0, lost0 = len(mgr.registry), mgr.damage_report().lost_edges
+        scrubs = done = 0
+        for op in chunk:
+            _, src, dst = op
+            try:
+                mgr.guarded_insert_edge(src, dst)
+            except ReadOnlyGraphError:
+                out.read_only = True
+                in_flight = op
+                break
+            except MediaError:
+                # Retries exhausted with the insert provably not landed
+                # (the landed check failed every attempt): skip it on the
+                # twin too so the reference stays aligned.
+                out.ops_skipped += 1
+                continue
+            twin.insert_edge(src, dst)
+            applied += 1
+            done += 1
+            if done % cfg.scrub_every == 0:
+                mgr.scrub()
+                scrubs += 1
+
+        analyzed = False
+        result = None
+        if cfg.analyze_rounds and not out.read_only:
+            result, _ = mgr.analyze(lambda snap: int(snap.to_csr()[1].size))
+            analyzed = True
+
+        delta = stats.delta_since(before)
+        rep = mgr.damage_report()
+        out.rounds.append(
+            SoakRoundResult(
+                round_index=r,
+                ops_applied=done,
+                scrub_steps=scrubs,
+                transient_faults=delta.transient_faults,
+                read_retries=delta.read_retries,
+                poison_events=delta.runtime_poison_events,
+                quarantined=len(mgr.registry) - q0,
+                lost_edges=rep.lost_edges - lost0,
+                health=rep.health,
+                analyzed=analyzed,
+                analysis_result=result,
+            )
+        )
+        if out.read_only:
+            break
+
+    out.ops_applied = applied
+    out.report = mgr.damage_report()
+
+    # ------------------------------------------------------------------
+    # the no-silent-corruption oracle
+    # ------------------------------------------------------------------
+    if not out.read_only and subject.pool.device.poisoned_ranges():
+        raise SoakFailure(
+            "latent poison survived the run on a non-READ_ONLY instance: "
+            f"{subject.pool.device.poisoned_ranges()}"
+        )
+
+    from ..resilience import RepairOutcome
+
+    by = out.report.by_outcome()
+    diverged = bool(
+        by.get(RepairOutcome.LOSSY, 0) or by.get(RepairOutcome.UNRECOVERABLE, 0)
+    )
+    lost = _lost_per_vertex(out.report)
+    nv = twin.num_vertices
+    relax_src = in_flight[1] if in_flight is not None else None
+    with subject.pool.device.suspend_runtime_faults():
+        for v in range(nv):
+            try:
+                got = [int(d) for d in subject.out_neighbors(v)] if v < subject.num_vertices else []
+            except MediaError:
+                if out.read_only:
+                    continue  # damaged remainder of a READ_ONLY instance
+                raise
+            want = [int(d) for d in twin.out_neighbors(v)]
+            if relax_src == v:
+                # The op in flight when the instance went READ_ONLY may
+                # have landed on the subject; the twin never applied it.
+                want = want + [in_flight[2]]
+            _check_vertex(
+                v, got, want, lost.get(v, 0),
+                strict=not diverged, relax=(relax_src == v),
+            )
+
+        if not out.read_only:
+            _structural_checks(subject, cfg, where="soak-end")
+
+    if not diverged:
+        _byte_compare(
+            subject.pool.device, twin.pool.device, out.report.inexact_ranges()
+        )
+        out.byte_compared = True
+
+    if not cfg.faults.runtime_active:
+        # The resilience layer must be free when nothing fails.
+        s, t = subject.pool.stats, twin.pool.stats
+        for k in _WRITE_COUNTERS:
+            if getattr(s, k) != getattr(t, k):
+                raise SoakFailure(
+                    f"fault-free soak is not counter-identical to an unmanaged "
+                    f"run: {k} = {getattr(s, k)} vs {getattr(t, k)}"
+                )
+        if out.report.n_quarantined:
+            raise SoakFailure("fault-free soak quarantined ranges")
+
+    return out
+
+
+__all__ = [
+    "SoakConfig",
+    "SoakFailure",
+    "SoakReport",
+    "SoakRoundResult",
+    "soak_sweep",
+    "make_insert_workload",
+]

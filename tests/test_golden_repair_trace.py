@@ -1,0 +1,111 @@
+"""Golden-trace fixture for a forced scrub-and-repair pass (PR 7).
+
+A deterministic damage scenario — explicit poison planted on an
+edge-array XPLine, an idle undo-log payload, and a line straddling a
+region boundary — is scrubbed and repaired under tracing, and the span
+tree (scrub → repair per region part, quarantine, health_transition)
+plus per-span write-path counter deltas are pinned as JSON.  Any drift
+in how repairs charge the device, which regions a range splits into,
+or when health transitions fire fails with a readable diff.
+
+Regenerate after an *intentional* change with::
+
+    REPRO_UPDATE_GOLDEN=1 python -m pytest tests/test_golden_repair_trace.py
+"""
+
+import difflib
+import json
+import os
+from pathlib import Path
+
+from repro import DGAP, DGAPConfig
+from repro.errors import MediaError
+from repro.obs import Tracer, golden_tree, render_tree, tracing
+from repro.pmem.constants import XPLINE
+from repro.resilience import HealthState, ResilienceManager
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "golden_repair_trace.json"
+
+CFG = dict(init_vertices=512, init_edges=4096, segment_slots=64, elog_size=96)
+
+
+def build_repair_trace() -> Tracer:
+    """Forced-repair scenario: deterministic poison, no fault RNG."""
+    g = DGAP(DGAPConfig(**CFG))
+    for i in range(60):  # vertex 0: array run + live log chain
+        g.insert_edge(0, i)
+    mgr = ResilienceManager(g)
+    dev = g.pool.device
+
+    tracer = Tracer(g.pool.stats)
+    with tracing(tracer):
+        # 1. Patrol scrub over planted damage: the edge-array XPLine
+        #    holding vertex 0's pivot+run (lossy) and an idle undo-log
+        #    payload (scrubbed).
+        dev.poison(g.ea.region.offset, XPLINE)
+        hdr_off, _, _ = g.pool._directory["ulog.pay.t3"]
+        dev.poison((hdr_off // XPLINE + 1) * XPLINE, XPLINE)
+        mgr.full_scrub()
+
+        # 2. Demand-read path: a line straddling the ulog.hdr.t0 /
+        #    unallocated boundary surfaces as a MediaError and is
+        #    quarantined and repaired (two partial parts + completion).
+        h0, _, _ = g.pool._directory["ulog.hdr.t0"]
+        _, dt, cnt = g.pool._directory["ulog.hdr.t0"]
+        hdr_end = h0 + dt.itemsize * cnt
+        straddle = (hdr_end // XPLINE) * XPLINE
+        dev.poison(straddle, XPLINE)
+        mgr.handle_media_error(
+            MediaError("forced", off=straddle, length=XPLINE)
+        )
+
+        # 3. The degraded instance keeps working: one guarded insert.
+        mgr.guarded_insert_edge(0, 1000)
+    assert mgr.health is HealthState.DEGRADED
+    assert not dev.poisoned_ranges()
+    return tracer
+
+
+def test_repair_trace_matches_golden_fixture():
+    doc = golden_tree(build_repair_trace())
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        GOLDEN_PATH.parent.mkdir(exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    assert GOLDEN_PATH.exists(), (
+        f"missing fixture {GOLDEN_PATH}; generate it with "
+        "REPRO_UPDATE_GOLDEN=1 pytest tests/test_golden_repair_trace.py"
+    )
+    want = json.loads(GOLDEN_PATH.read_text())
+    if doc == want:
+        return
+    diff = "\n".join(
+        difflib.unified_diff(
+            render_tree(want),
+            render_tree(doc),
+            fromfile="golden_repair_trace.json (pinned)",
+            tofile="this run",
+            lineterm="",
+        )
+    )
+    raise AssertionError(
+        "repair trace drifted from the pinned golden fixture.\n"
+        "If the change is intentional, regenerate with "
+        "REPRO_UPDATE_GOLDEN=1 and review the diff:\n" + diff
+    )
+
+
+def test_repair_scenario_is_deterministic():
+    a = golden_tree(build_repair_trace())
+    b = golden_tree(build_repair_trace())
+    assert a == b
+
+
+def test_repair_trace_contains_the_resilience_spans():
+    """The scenario must exercise every traced resilience code path."""
+    doc = golden_tree(build_repair_trace())
+    lines = "\n".join(render_tree(doc))
+    for phase in ("scrub", "repair", "quarantine", "health_transition"):
+        assert phase in lines, f"repair scenario never hit {phase!r}"
+    # The lossy edge-array repair is what degrades the instance.
+    assert "outcome=lossy" in lines
+    assert "to_state=degraded" in lines

@@ -1,0 +1,110 @@
+"""Soak-sweep driver tests: the no-silent-corruption oracle end to end.
+
+Small soaks must pass all three oracle legs (fault-free counter
+identity, healthy byte identity, lossy containment-with-shortfall),
+and the oracle must actually *reject* a subject that silently diverges
+from its fault-free twin.
+"""
+
+import pytest
+
+from repro import DGAP, DGAPConfig
+from repro.pmem.faults import DEFAULT_POLICY, FaultPolicy
+from repro.resilience import HealthState
+from repro.testing import (
+    SoakConfig,
+    SoakFailure,
+    soak_sweep,
+)
+
+CFG = dict(init_vertices=16, init_edges=512, segment_slots=64, elog_size=96)
+
+
+def make_graph(injector, faults):
+    return DGAP(DGAPConfig(**CFG), injector=injector, faults=faults)
+
+
+def hot_ops(n):
+    """Insert-only stream skewed onto few vertices so runs overflow into
+    the log and rebalances (= accounted bulk reads) actually happen."""
+    return [("insert", i % 4, (7 * i) % 64) for i in range(n)]
+
+
+class TestWorkloadValidation:
+    def test_rejects_deletes(self):
+        with pytest.raises(ValueError, match="insert-only"):
+            soak_sweep(make_graph, [("delete", 0, 1)], SoakConfig())
+
+    def test_rejects_nonpositive_rounds(self):
+        with pytest.raises(ValueError, match="rounds"):
+            soak_sweep(make_graph, hot_ops(10), SoakConfig(rounds=0))
+
+
+class TestFaultFreeIdentity:
+    def test_managed_run_is_free_when_nothing_fails(self):
+        rep = soak_sweep(
+            make_graph, hot_ops(300),
+            SoakConfig(faults=DEFAULT_POLICY, rounds=2, scrub_every=20),
+        )
+        assert rep.fault_points == 0
+        assert rep.ops_applied == 300 and rep.ops_skipped == 0
+        assert rep.health is HealthState.HEALTHY
+        assert rep.byte_compared
+        assert rep.quarantined == 0
+
+
+class TestRuntimeSoak:
+    def test_small_soak_survives_decay(self):
+        pol = FaultPolicy(read_poison_rate=2e-3, transient_read_rate=5e-3, seed=1)
+        rep = soak_sweep(
+            make_graph, hot_ops(600),
+            SoakConfig(faults=pol, rounds=3, scrub_every=10,
+                       patrol_bytes=32 * 1024),
+        )
+        assert rep.fault_points > 0  # the soak actually injected faults
+        assert rep.ops_applied + rep.ops_skipped == 600 or rep.read_only
+        # Every round reports its health; the last one is the final state.
+        assert rep.rounds[-1].health is rep.health
+
+    def test_lossy_soak_enumerates_losses(self):
+        """At a hot poison rate some repair goes lossy; the oracle still
+        passes because every lost edge is enumerated."""
+        pol = FaultPolicy(read_poison_rate=2e-2, seed=4)
+        rep = soak_sweep(
+            make_graph, hot_ops(600),
+            SoakConfig(faults=pol, rounds=3, scrub_every=10,
+                       patrol_bytes=32 * 1024),
+        )
+        assert rep.poison_events > 0
+        assert rep.quarantined > 0
+        if rep.lost_edges:
+            assert rep.health in (HealthState.DEGRADED, HealthState.READ_ONLY)
+            assert not rep.byte_compared
+
+
+class TestOracleRejectsCorruption:
+    def test_silently_dropped_insert_is_caught(self):
+        """A subject that drops an edge with no MediaError and no
+        DamageReport entry is exactly the silent corruption the oracle
+        exists for."""
+        calls = {"n": 0}
+
+        def corrupt_factory(injector, faults):
+            g = make_graph(injector, faults)
+            calls["n"] += 1
+            if calls["n"] == 1:  # the subject is built first
+                orig = g.insert_edge
+
+                def dropping(src, dst, thread_id=0):
+                    if dst == 63:
+                        return  # silently drop
+                    return orig(src, dst, thread_id)
+
+                g.insert_edge = dropping
+            return g
+
+        with pytest.raises(SoakFailure):
+            soak_sweep(
+                corrupt_factory, hot_ops(300),
+                SoakConfig(faults=DEFAULT_POLICY, rounds=2, scrub_every=50),
+            )
