@@ -20,7 +20,7 @@ from repro.bench import (
 )
 from repro.bench.harness import DEFAULT_BATCH_SIZE, build_system
 from repro.bench.paper_data import FIG6_MEPS
-from repro.datasets import DATASETS, get_dataset
+from repro.datasets import PAPER_DATASETS, get_dataset
 
 SYSTEM_ORDER = ("dgap", "bal", "llama", "graphone", "xpgraph")
 
@@ -30,7 +30,7 @@ BASELINE_JSON = pathlib.Path(__file__).parent / "baselines" / "fig6_insert_batch
 def test_fig6_insert_throughput(benchmark, scale):
     def run():
         table = {}
-        for ds in DATASETS:
+        for ds in PAPER_DATASETS:
             table[ds] = {}
             for name in SYSTEM_ORDER:
                 _, ins = get_built_system(name, ds, scale=scale)

@@ -16,11 +16,11 @@ from repro.bench import (
     run_kernel,
 )
 from repro.bench.paper_data import TABLE4_SECONDS
-from repro.datasets import DATASETS
+from repro.datasets import PAPER_DATASETS
 
 SYSTEM_ORDER = ("dgap", "bal", "llama", "graphone", "xpgraph")
 #: full-scale proxy analysis over all six datasets
-DATASET_ORDER = tuple(DATASETS)
+DATASET_ORDER = tuple(PAPER_DATASETS)
 
 
 def _normalized(kernel: str, scale: float):

@@ -17,14 +17,14 @@ from repro.bench import (
     run_kernel,
 )
 from repro.bench.paper_data import TABLE4_SECONDS
-from repro.datasets import DATASETS
+from repro.datasets import PAPER_DATASETS
 
 SYSTEM_ORDER = ("dgap", "bal", "llama", "graphone", "xpgraph")
 
 
 def _normalized(kernel: str, scale: float):
     table = {}
-    for ds in DATASETS:
+    for ds in PAPER_DATASETS:
         src = pick_source(ds, scale)
         csr_view = get_static_csr(ds, scale).analysis_view()
         t_csr = run_kernel(csr_view, kernel, source=src)[1]

@@ -11,7 +11,7 @@ while on the billion-edge graphs DGAP wins (paper §4.2.1).
 from conftest import run_once
 from repro.bench import emit, format_table, get_built_system, paper_vs_measured
 from repro.bench.paper_data import TABLE3_MEPS
-from repro.datasets import DATASETS, get_dataset
+from repro.datasets import PAPER_DATASETS, get_dataset
 
 SYSTEM_ORDER = ("dgap", "bal", "llama", "graphone", "xpgraph")
 THREADS = (1, 8, 16)
@@ -35,7 +35,7 @@ def _xp_variant(ds: str, scale: float):
 def test_table3_insert_scalability(benchmark, scale):
     def run():
         table = {}
-        for ds in DATASETS:
+        for ds in PAPER_DATASETS:
             table[ds] = {}
             for name in SYSTEM_ORDER:
                 if name == "xpgraph":

@@ -59,10 +59,30 @@ def build_in_csr(
     :mod:`repro.analysis.viewcache` must reproduce bit-for-bit (float
     summation order in PR's ``bincount`` depends on it).
     """
-    srcs = np.repeat(np.arange(nv, dtype=ID_DTYPE), np.diff(out_indptr))
+    return build_in_csr_from(
+        out_indptr, out_dsts, np.arange(nv, dtype=ID_DTYPE), nv
+    )
+
+
+def build_in_csr_from(
+    out_indptr: np.ndarray,
+    out_dsts: np.ndarray,
+    src_ids: np.ndarray,
+    dst_nv: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """In-CSR where row ``i`` carries source id ``src_ids[i]``.
+
+    Generalizes :func:`build_in_csr` for sharded builds: a shard's rows
+    are local ids but its sources live in the *global* id space, and its
+    destinations span the global domain of ``dst_nv`` vertices.  With
+    ``src_ids == arange(nv)`` and ``dst_nv == nv`` this is byte-identical
+    to the unsharded builder.  ``src_ids`` must ascend for the
+    (dst, src, insertion) order contract to hold.
+    """
+    srcs = np.repeat(np.asarray(src_ids, dtype=ID_DTYPE), np.diff(out_indptr))
     order = np.argsort(out_dsts, kind="stable")
-    counts = np.bincount(out_dsts, minlength=nv)
-    in_indptr = np.zeros(nv + 1, dtype=INDPTR_DTYPE)
+    counts = np.bincount(out_dsts, minlength=dst_nv)
+    in_indptr = np.zeros(dst_nv + 1, dtype=INDPTR_DTYPE)
     np.cumsum(counts, out=in_indptr[1:])
     return in_indptr, srcs[order]
 
@@ -300,4 +320,5 @@ __all__ = [
     "ID_DTYPE",
     "INDPTR_DTYPE",
     "build_in_csr",
+    "build_in_csr_from",
 ]

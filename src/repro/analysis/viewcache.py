@@ -45,7 +45,7 @@ import numpy as np
 
 from ..nputil import multi_arange
 from ..obs.tracer import annotate, trace
-from .view import ID_DTYPE, INDPTR_DTYPE, build_in_csr
+from .view import ID_DTYPE, INDPTR_DTYPE, build_in_csr_from
 
 #: stale-vertex share above which patching loses to a from-scratch
 #: rebuild (a resize stamps every section, so this also catches
@@ -87,45 +87,71 @@ class ViewCacheStats:
 
 
 class DGAPViewCache:
-    """Epoch-versioned (out, in) CSR cache for one :class:`~repro.core.dgap.DGAP`."""
+    """Epoch-versioned (out, in) CSR cache for one :class:`~repro.core.dgap.DGAP`.
 
-    def __init__(self, graph) -> None:
+    ``id_stride`` / ``row_ids`` generalize the cache for sharded builds
+    (:mod:`repro.sharding`): out-CSR row ``i`` carries the source id
+    ``row_ids(nv)[i]`` in the in-CSR (ids must ascend, with
+    ``id == i * id_stride + something < id_stride`` so the inverse is a
+    floor division), and the in-CSR destination domain can be widened to
+    a caller-supplied ``dst_nv`` (the *global* vertex count).  The
+    defaults — stride 1, identity ids, ``dst_nv=None`` — reproduce the
+    unsharded behavior exactly.
+    """
+
+    def __init__(self, graph, id_stride: int = 1, row_ids=None) -> None:
         self.graph = graph
         self.stats = ViewCacheStats()
+        self.id_stride = int(id_stride)
+        self.row_ids = row_ids
         self._out: Optional[CSRPair] = None
         self._in: Optional[CSRPair] = None
         self._epoch = -1
         self._nv = 0
+        self._dst_nv = 0
+
+    def _row_ids(self, nv: int) -> np.ndarray:
+        if self.row_ids is None:
+            return np.arange(nv, dtype=ID_DTYPE)
+        return np.asarray(self.row_ids(nv), dtype=ID_DTYPE)
 
     # -- entry point -------------------------------------------------------
-    def materialize(self, snap) -> Tuple[CSRPair, CSRPair]:
+    def materialize(self, snap, dst_nv: Optional[int] = None) -> Tuple[CSRPair, CSRPair]:
         """Current ``((out_indptr, out_dsts), (in_indptr, in_srcs))``.
 
         ``snap`` must be an open :class:`DGAPSnapshot` of ``self.graph``
         taken at the current structure epoch.  The returned arrays are
         owned by the cache and shared with analysis views; they are
         never mutated afterwards (each refresh allocates new ones).
+        ``dst_nv`` widens the in-CSR destination domain (sharded builds
+        pass the global vertex count); it must not shrink between calls.
         """
         g = self.graph
         epoch = int(g.structure_epoch)
         nv = snap.num_vertices
+        if dst_nv is None:
+            dst_nv = nv
         with trace("view_materialize"):
             if self._out is None:
                 annotate(mode="full")
-                out, inn = self._full_build(snap, nv)
+                out, inn = self._full_build(snap, nv, dst_nv)
             else:
                 dirty = g.sections_dirty_since(self._epoch)
                 stale = self._stale_vertices(dirty, nv)
                 n_stale = int(stale.sum())
                 if n_stale == 0 and nv == self._nv:
-                    # Epoch moved but nothing a view can observe changed.
+                    # Epoch moved but nothing a view can observe changed
+                    # (the destination domain may still have grown via
+                    # other shards — extend the in-indptr with empties).
                     annotate(mode="reuse")
                     out, inn = self._out, self._in
+                    if dst_nv != self._dst_nv:
+                        inn = (_extend_indptr(inn[0], dst_nv), inn[1])
                     self.stats.incremental_builds += 1
                     self.stats.rows_reused += nv
                 elif n_stale >= FULL_REBUILD_STALE_FRACTION * nv:
                     annotate(mode="full")
-                    out, inn = self._full_build(snap, nv)
+                    out, inn = self._full_build(snap, nv, dst_nv)
                 else:
                     annotate(mode="incremental", stale_vertices=n_stale)
                     self.stats.incremental_builds += 1
@@ -134,9 +160,11 @@ class DGAPViewCache:
                     self.stats.rows_reused += nv - n_stale
                     stale_vids = np.flatnonzero(stale)
                     out, s_counts, s_dsts = self._patch_out(snap, nv, stale, stale_vids)
-                    inn = self._merge_in(nv, stale, stale_vids, s_counts, s_dsts)
+                    inn = self._merge_in(
+                        nv, dst_nv, stale, stale_vids, s_counts, s_dsts
+                    )
         self._out, self._in = out, inn
-        self._epoch, self._nv = epoch, nv
+        self._epoch, self._nv, self._dst_nv = epoch, nv, dst_nv
         return out, inn
 
     # -- staleness ---------------------------------------------------------
@@ -158,12 +186,12 @@ class DGAPViewCache:
         return stale
 
     # -- out-CSR -----------------------------------------------------------
-    def _full_build(self, snap, nv: int) -> Tuple[CSRPair, CSRPair]:
+    def _full_build(self, snap, nv: int, dst_nv: int) -> Tuple[CSRPair, CSRPair]:
         self.stats.full_rebuilds += 1
         self.stats.sections_rebuilt += int(self.graph.ea.n_sections)
         self.stats.vertices_rebuilt += nv
         out = snap.to_csr()
-        inn = build_in_csr(out[0], out[1], nv)
+        inn = build_in_csr_from(out[0], out[1], self._row_ids(nv), dst_nv)
         return out, inn
 
     def _patch_out(
@@ -193,17 +221,23 @@ class DGAPViewCache:
     def _merge_in(
         self,
         nv: int,
+        dst_nv: int,
         stale: np.ndarray,
         stale_vids: np.ndarray,
         s_counts: np.ndarray,
         s_dsts: np.ndarray,
     ) -> CSRPair:
         prev_in_indptr, prev_in_srcs = self._in  # type: ignore[misc]
-        prev_nv = self._nv
+        prev_dst_nv = prev_in_indptr.size - 1
         old_dst = np.repeat(
-            np.arange(prev_nv, dtype=np.int64), np.diff(prev_in_indptr)
+            np.arange(prev_dst_nv, dtype=np.int64), np.diff(prev_in_indptr)
         )
-        keep = ~stale[prev_in_srcs]
+        # prev_in_srcs carry source *ids* (global under sharding); the
+        # stale mask is indexed by local row.
+        if self.id_stride == 1 and self.row_ids is None:
+            keep = ~stale[prev_in_srcs]
+        else:
+            keep = ~stale[prev_in_srcs // self.id_stride]
         ko_dst = old_dst[keep]
         ko_src = prev_in_srcs[keep]
         self.stats.in_entries_dropped += int(prev_in_srcs.size - ko_src.size)
@@ -211,7 +245,7 @@ class DGAPViewCache:
         # Counting-sort the delta by destination: a stable integer
         # argsort over the delta only (NumPy radix-sorts ints) — never a
         # full-graph sort.
-        delta_src = np.repeat(stale_vids.astype(ID_DTYPE), s_counts)
+        delta_src = np.repeat(self._row_ids(nv)[stale_vids], s_counts)
         order = np.argsort(s_dsts, kind="stable")
         kd_dst = s_dsts[order].astype(np.int64)
         kd_src = delta_src[order]
@@ -220,9 +254,11 @@ class DGAPViewCache:
         # Single merge pass on the (dst, src) key.  Sources are wholly
         # stale or wholly clean, so no key appears in both sides and the
         # merged order is exactly build_in_csr's (dst, src, insertion)
-        # order — bit-identical in_srcs.
-        ko_key = ko_dst * nv + ko_src
-        kd_key = kd_dst * nv + kd_src
+        # order — bit-identical in_srcs.  The multiplier only has to
+        # exceed every source id; ``dst_nv`` does (ids live in the
+        # destination domain), and it equals ``nv`` when unsharded.
+        ko_key = ko_dst * dst_nv + ko_src
+        kd_key = kd_dst * dst_nv + kd_src
         pos_d = np.searchsorted(ko_key, kd_key, side="left") + np.arange(kd_key.size)
         total = ko_key.size + kd_key.size
         in_srcs = np.empty(total, dtype=ID_DTYPE)
@@ -231,10 +267,20 @@ class DGAPViewCache:
         in_srcs[pos_d] = kd_src
         in_srcs[old_mask] = ko_src
 
-        counts = np.bincount(ko_dst, minlength=nv) + np.bincount(kd_dst, minlength=nv)
-        in_indptr = np.zeros(nv + 1, dtype=INDPTR_DTYPE)
+        counts = np.bincount(ko_dst, minlength=dst_nv) + np.bincount(
+            kd_dst, minlength=dst_nv
+        )
+        in_indptr = np.zeros(dst_nv + 1, dtype=INDPTR_DTYPE)
         np.cumsum(counts, out=in_indptr[1:])
         return in_indptr, in_srcs
+
+
+def _extend_indptr(indptr: np.ndarray, dst_nv: int) -> np.ndarray:
+    """Widen an in-indptr to a grown destination domain (empty tail rows)."""
+    if indptr.size == dst_nv + 1:
+        return indptr
+    ext = np.full(dst_nv + 1 - indptr.size, indptr[-1], dtype=INDPTR_DTYPE)
+    return np.concatenate((indptr, ext))
 
 
 __all__ = ["DGAPViewCache", "ViewCacheStats", "FULL_REBUILD_STALE_FRACTION"]

@@ -189,6 +189,56 @@ def cmd_profile(args) -> None:
               "sum exactly to the device totals")
 
 
+def cmd_shard(args) -> None:
+    """Shard-scaling twin: single pool vs N pools on the same stream."""
+    from ..analysis.viewcache import DGAPViewCache
+    from ..sharding import ShardedDGAP
+
+    spec = get_dataset(args.dataset)
+    edges = spec.generate(args.scale)
+    nv, _ = spec.sizes(args.scale)
+    bs = _batch_size(args)
+    n = args.shards
+
+    def build(g):
+        before = g.pool.stats.snapshot()
+        g.insert_edges(edges, batch_size=bs)
+        return g.pool.stats.delta_since(before).modeled_ns
+
+    def meps(ns):
+        return edges.shape[0] / ns * 1e3 if ns else 0.0
+
+    single = DGAP(DGAPConfig(init_vertices=nv, init_edges=edges.shape[0]))
+    ns1 = build(single)
+    sharded = ShardedDGAP(n, DGAPConfig(init_vertices=nv, init_edges=edges.shape[0]))
+    nsn = build(sharded)
+
+    with single.consistent_view() as snap:
+        ref_out, ref_in = DGAPViewCache(single).materialize(snap)
+    mrg_out, mrg_in = sharded.global_csr()
+    identical = all(
+        a.tobytes() == b.tobytes()
+        for a, b in zip(ref_out + ref_in, mrg_out + mrg_in)
+    )
+    shares = [sh.num_edges / max(sharded.num_edges, 1) for sh in sharded.shards]
+    rows = [
+        ("single-pool modeled MEPS", meps(ns1)),
+        (f"{n}-shard modeled MEPS", meps(nsn)),
+        ("speedup (modeled clock)", ns1 / nsn if nsn else 0.0),
+        ("merged view byte-identical", "yes" if identical else "NO"),
+        ("max shard share", max(shares) if shares else 0.0),
+        ("shard shares", " ".join(f"{s:.2f}" for s in shares)),
+    ]
+    print(format_table(
+        f"shard scaling — {args.dataset} (scale {args.scale:g}, "
+        f"{edges.shape[0]} edges, batch {bs or 'all'}, {n} shards)",
+        ["metric", "value"],
+        rows,
+    ))
+    if not identical:
+        raise SystemExit("merged sharded view diverged from the unsharded build")
+
+
 _SWEEP_POLICIES = ("default", "torn", "reorder", "adversarial")
 
 
@@ -200,7 +250,12 @@ def cmd_crash_sweep(args) -> None:
         TORN_STORES,
         FaultPolicy,
     )
-    from ..testing import SweepConfig, crash_sweep, make_insert_workload
+    from ..testing import (
+        SweepConfig,
+        crash_sweep,
+        make_batched_insert_workload,
+        make_insert_workload,
+    )
 
     base = {
         "default": DEFAULT_POLICY,
@@ -218,14 +273,26 @@ def cmd_crash_sweep(args) -> None:
     spec = get_dataset(args.dataset)
     edges = spec.generate(args.scale)[: args.edges]
     nv = int(edges.max()) + 1 if edges.size else 1
+    nv = max(nv, args.shards)
     cfg = DGAPConfig(init_vertices=nv, init_edges=max(len(edges), 64))
 
-    def make_graph(injector, faults):
-        return DGAP(cfg, injector=injector, faults=faults)
+    if args.shards > 1:
+        from ..sharding import ShardedDGAP
+
+        def make_graph(injector, faults):
+            return ShardedDGAP(args.shards, cfg, injector=injector, faults=faults)
+    else:
+        def make_graph(injector, faults):
+            return DGAP(cfg, injector=injector, faults=faults)
+
+    if args.batch_size > 0:
+        workload = make_batched_insert_workload(edges, batch_size=args.batch_size)
+    else:
+        workload = make_insert_workload(edges)
 
     report = crash_sweep(
         make_graph,
-        make_insert_workload(edges),
+        workload,
         SweepConfig(
             faults=policy,
             exhaustive_threshold=args.exhaustive_threshold,
@@ -237,6 +304,7 @@ def cmd_crash_sweep(args) -> None:
         report,
         title=(
             f"crash sweep — {args.dataset} ({len(edges)} edges, "
+            f"{args.shards} shard{'s' if args.shards != 1 else ''}, "
             f"policy {args.policy}, seed {args.seed})"
         ),
     ))
@@ -384,6 +452,17 @@ def main(argv=None) -> int:
     p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser(
+        "shard",
+        help="sharded multi-pool ingest vs a single pool (modeled speedup "
+             "+ merged-view identity)",
+    )
+    p.add_argument("--dataset", choices=sorted(DATASETS), default="citpatents")
+    p.add_argument("--scale", type=float, default=0.25)
+    p.add_argument("--shards", type=int, default=4)
+    add_batch_size(p)
+    p.set_defaults(fn=cmd_shard)
+
+    p = sub.add_parser(
         "crash-sweep",
         help="crash-consistency sweep with the recovery oracle (robustness)",
     )
@@ -391,6 +470,11 @@ def main(argv=None) -> int:
     p.add_argument("--scale", type=float, default=0.05)
     p.add_argument("--edges", type=int, default=120,
                    help="cap the workload to this many edges (scalar replay per point)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="sweep a sharded multi-pool graph with this many shards")
+    p.add_argument("--batch-size", type=int, default=0,
+                   help="replay via routed EdgeBatch dispatches of this size "
+                        "(<=0 = per-edge ops); exercises mid-dispatch crashes")
     p.add_argument("--policy", choices=_SWEEP_POLICIES, default="default")
     p.add_argument("--poison", type=float, default=0.0,
                    help="probability a lost line is poisoned at crash (media faults)")

@@ -8,7 +8,35 @@ against ``bench_output.txt`` directly.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
+
+#: The canonical distribution summary order, shared by every consumer
+#: (crash-sweep reports, shard benchmarks) so tables line up.
+DISTRIBUTION_KEYS = ("min", "p50", "mean", "p90", "p95", "max")
+
+
+def distribution_stats(values, unit: str = "us") -> Dict[str, float]:
+    """Six-point summary of a sample: min/p50/mean/p90/p95/max.
+
+    Keys are suffixed with ``unit`` (``min_us``, ``p50_us``, ...);
+    values are expected pre-scaled to that unit.  Returns ``{}`` for an
+    empty sample.  This is the single percentile helper — the crash
+    sweep's recovery-time report and the shard-scaling benchmark both
+    route through it instead of hand-rolling ``np.percentile`` calls.
+    """
+    import numpy as np
+
+    vals = np.asarray(list(values), dtype=np.float64)
+    if vals.size == 0:
+        return {}
+    return {
+        f"min_{unit}": float(vals.min()),
+        f"p50_{unit}": float(np.percentile(vals, 50)),
+        f"mean_{unit}": float(vals.mean()),
+        f"p90_{unit}": float(np.percentile(vals, 90)),
+        f"p95_{unit}": float(np.percentile(vals, 95)),
+        f"max_{unit}": float(vals.max()),
+    }
 
 
 def format_table(
@@ -301,6 +329,8 @@ def flush_reports() -> List[str]:
 
 
 __all__ = [
+    "DISTRIBUTION_KEYS",
+    "distribution_stats",
     "format_table",
     "paper_vs_measured",
     "ingest_phase_table",

@@ -152,6 +152,21 @@ class EdgeBatch:
         """PMA section of each edge's source pivot (``starts`` per vertex)."""
         return (starts[self.src] - 1) // segment_slots
 
+    def shard_keys(self, n_shards: int) -> np.ndarray:
+        """Owning shard of each edge (block-mixed partition on the source).
+
+        The sharding router (:mod:`repro.sharding`) owns an edge by its
+        *source* vertex; the partition is the block-mixed stripe of
+        :func:`repro.sharding.partition.shard_of` — two vectorized
+        integer ops — so the whole routing decision stays on the batch
+        hot path.  Destinations stay global and travel with the edge.
+        """
+        if n_shards <= 0:
+            raise GraphError("n_shards must be positive")
+        from ..sharding.partition import shard_of
+
+        return shard_of(self.src, n_shards)
+
     @staticmethod
     def grouped_order(sections: np.ndarray, srcs: np.ndarray) -> np.ndarray:
         """Stable processing order: by section, then by source within it."""

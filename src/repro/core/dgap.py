@@ -295,7 +295,14 @@ class DGAP:
                 if held is not None:
                     self.locks.release_many(held)
 
-    def insert_edge(self, src: int, dst: int, thread_id: int = 0, tombstone: bool = False) -> None:
+    def insert_edge(
+        self,
+        src: int,
+        dst: int,
+        thread_id: int = 0,
+        tombstone: bool = False,
+        grow_vertices: bool = True,
+    ) -> None:
         """Insert directed edge ``src -> dst`` (``g.insertE``).
 
         A thin one-element batch: semantically ``insert_edges`` of a
@@ -305,10 +312,21 @@ class DGAP:
         (:meth:`delete_edge`).  The PM write is persisted *before* the
         DRAM vertex array is touched, so a crash in between is always
         recoverable from the persistent state.
+
+        With ``grow_vertices=False`` the source must already exist and
+        the destination is stored as an opaque id without materializing
+        a vertex for it — the sharding layer owns only ``src``'s shard
+        and keeps destinations in the *global* id space
+        (:mod:`repro.sharding`).
         """
         nv = self.va.num_vertices
-        if src >= nv or dst >= nv:
-            self.insert_vertex(max(src, dst))
+        if grow_vertices:
+            if src >= nv or dst >= nv:
+                self.insert_vertex(max(src, dst))
+        elif src >= nv:
+            raise VertexRangeError(
+                f"source {src} >= {nv} with vertex growth disabled"
+            )
         self._insert_one(int(src), int(dst), thread_id, tombstone)
 
     # -- §3.1.6 lock sets ------------------------------------------------
@@ -536,6 +554,7 @@ class DGAP:
         edges: EdgeLike,
         thread_id: int = 0,
         batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
+        grow_vertices: bool = True,
     ) -> int:
         """Bulk insert — the primary mutation entry point (paper §3.1.2).
 
@@ -556,25 +575,39 @@ class DGAP:
         with trace("insert_edges", edges=len(batch)):
             if batch_size is not None and batch_size > 0 and len(batch) > batch_size:
                 return sum(
-                    self._insert_batch(c, thread_id) for c in batch.chunks(batch_size)
+                    self._insert_batch(c, thread_id, grow_vertices)
+                    for c in batch.chunks(batch_size)
                 )
-            return self._insert_batch(batch, thread_id)
+            return self._insert_batch(batch, thread_id, grow_vertices)
 
-    def _insert_batch(self, batch: EdgeBatch, thread_id: int = 0) -> int:
+    def _insert_batch(
+        self, batch: EdgeBatch, thread_id: int = 0, grow_vertices: bool = True
+    ) -> int:
         n = len(batch)
         if n == 0:
             self.last_batch_order = np.empty(0, dtype=np.int64)
             return 0
         if n == 1:
             s, d = int(batch.src[0]), int(batch.dst[0])
-            if max(s, d) >= self.va.num_vertices:
-                self.insert_vertex(max(s, d))
+            if grow_vertices:
+                if max(s, d) >= self.va.num_vertices:
+                    self.insert_vertex(max(s, d))
+            elif s >= self.va.num_vertices:
+                raise VertexRangeError(
+                    f"source {s} >= {self.va.num_vertices} with vertex growth disabled"
+                )
             self._insert_one(s, d, thread_id, bool(batch.tombstone[0]))
             self.last_batch_order = np.zeros(1, dtype=np.int64)
             return 1
-        mx = batch.max_vertex()
-        if mx >= self.va.num_vertices:
-            self.insert_vertex(mx)
+        if grow_vertices:
+            mx = batch.max_vertex()
+            if mx >= self.va.num_vertices:
+                self.insert_vertex(mx)
+        elif int(batch.src.max()) >= self.va.num_vertices:
+            raise VertexRangeError(
+                f"source {int(batch.src.max())} >= {self.va.num_vertices} "
+                f"with vertex growth disabled"
+            )
         cfg = self.config
         if not cfg.use_edge_log or not cfg.dram_placement:
             # Ablation modes interleave per-edge PM metadata writes

@@ -1,10 +1,11 @@
 """Synthetic dataset proxies for the paper's SNAP evaluation graphs."""
 
-from .registry import DATASETS, SMALL_DATASETS, DatasetSpec, env_scale, get_dataset
+from .registry import DATASETS, PAPER_DATASETS, SMALL_DATASETS, DatasetSpec, env_scale, get_dataset
 from .rmat import rmat_edges, shuffle_edges, uniform_edges
 
 __all__ = [
     "DATASETS",
+    "PAPER_DATASETS",
     "SMALL_DATASETS",
     "DatasetSpec",
     "get_dataset",

@@ -865,6 +865,11 @@ class PMemDevice:
     def dirty_lines(self) -> int:
         return len(self._dirty)
 
+    @property
+    def pending_lines(self) -> int:
+        """Flushed-but-unfenced lines still in flight (volatile under ADR)."""
+        return len(self._pending)
+
     def crash(self) -> None:
         """Emulate a power failure: lose whatever a real platform would lose.
 

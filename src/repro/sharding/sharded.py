@@ -1,0 +1,383 @@
+"""N independent DGAP instances behind one graph facade.
+
+Each shard owns a residue class of the vertex space
+(:mod:`repro.sharding.partition`), with its **own** :class:`PMemPool`,
+section-lock table, edge logs, undo logs and fault policy — the shards
+share nothing persistent, which is exactly what lets ingest bandwidth
+and recovery replay scale with the shard count (the per-pool media
+write bandwidth is the single-instance ceiling of Table 3).
+
+The facade keeps DGAP's mutation semantics:
+
+* ``insert_edge`` / ``insert_edges`` / ``delete_edge`` accept global
+  ids; batches are chunked at the same default cadence as a single
+  instance, routed per shard (:class:`~repro.sharding.router.ShardRouter`)
+  and dispatched down the unmodified batched ingest path with vertex
+  growth disabled (sources are pre-grown owner-side; destinations stay
+  global).
+* crash simulation is whole-machine: every shard's device shares one
+  :class:`~repro.pmem.crash.CrashInjector`, so crash sweeps see a
+  single global persistence-event ordering, and when any shard's device
+  power-fails mid-dispatch the facade power-fails the remaining shards
+  too (a real outage does not spare the other DIMMs).
+* ``open`` recovers every shard from its pool; the shards replay
+  concurrently on the modeled clock, so recovery makespan is the max
+  over per-shard recovery times, not the sum
+  (:func:`~repro.testing.crashsweep.pool_clocks` reports it that way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional
+
+import numpy as np
+
+from ..config import DGAPConfig
+from ..core.batch import DEFAULT_BATCH_SIZE, EdgeBatch, EdgeLike
+from ..core.dgap import DGAP
+from ..errors import GraphError, SimulatedCrash
+from ..pmem.crash import CrashInjector
+from ..pmem.faults import FaultPolicy
+from .partition import global_vertex_count, local_count, shard_of, to_local
+from .router import ShardRouter
+
+
+class _GroupDevice:
+    """Device facade over the shard pools (injector fan-out)."""
+
+    def __init__(self, pools):
+        self._pools = pools
+
+    @property
+    def injector(self) -> CrashInjector:
+        return self._pools[0].device.injector
+
+    @injector.setter
+    def injector(self, inj: CrashInjector) -> None:
+        for p in self._pools:
+            p.device.injector = inj
+
+    def drain_all(self) -> None:
+        for p in self._pools:
+            p.device.drain_all()
+
+
+class _GroupDelta:
+    """Counters accrued by the group over an interval.
+
+    ``modeled_ns`` is the *parallel* elapsed time — the max over the
+    per-shard deltas, since shard devices tick concurrently — while the
+    additive counters sum.  ``per_shard`` keeps the raw deltas for
+    load-balance reporting.
+    """
+
+    def __init__(self, deltas):
+        self.per_shard = list(deltas)
+
+    @property
+    def modeled_ns(self) -> float:
+        return max(d.modeled_ns for d in self.per_shard)
+
+    @property
+    def media_bytes(self) -> int:
+        return sum(d.media_bytes for d in self.per_shard)
+
+    @property
+    def stores(self) -> int:
+        return sum(d.stores for d in self.per_shard)
+
+    @property
+    def flushes(self) -> int:
+        return sum(d.flushes for d in self.per_shard)
+
+    @property
+    def fences(self) -> int:
+        return sum(d.fences for d in self.per_shard)
+
+
+class _GroupStats:
+    """Aggregated device statistics for the shard group.
+
+    ``modeled_ns`` is the *parallel* clock — shards run on independent
+    devices concurrently, so elapsed time is the max over shards, while
+    additive counters (media bytes, crashes) sum.  ``snapshot`` /
+    ``delta_since`` mirror :class:`~repro.pmem.stats.PMemStats` so the
+    benchmark harness can treat a shard group like a single pool.
+    """
+
+    def __init__(self, pools):
+        self._pools = pools
+
+    @property
+    def modeled_ns(self) -> float:
+        return max(p.stats.modeled_ns for p in self._pools)
+
+    @property
+    def media_bytes(self) -> int:
+        return sum(p.stats.media_bytes for p in self._pools)
+
+    @property
+    def crashes(self) -> int:
+        return sum(p.stats.crashes for p in self._pools)
+
+    def snapshot(self):
+        """Per-pool frozen copies, for :meth:`delta_since`."""
+        return [p.stats.snapshot() for p in self._pools]
+
+    def delta_since(self, before) -> _GroupDelta:
+        return _GroupDelta(
+            p.stats.delta_since(b) for p, b in zip(self._pools, before)
+        )
+
+
+class ShardPoolGroup:
+    """The persistent footprint of a :class:`ShardedDGAP`: one pool per shard.
+
+    Quacks enough like a :class:`~repro.pmem.pool.PMemPool` for the
+    crash-sweep driver: ``device.injector`` fans out to every shard
+    device, ``stats`` aggregates (max modeled clock, summed counters),
+    ``crash()`` power-fails every shard, and a ``deepcopy`` preserves
+    the shared-injector wiring (the injector deduplicates through the
+    copy memo).
+    """
+
+    def __init__(self, pools):
+        self.pools = list(pools)
+
+    @property
+    def device(self) -> _GroupDevice:
+        return _GroupDevice(self.pools)
+
+    @property
+    def stats(self) -> _GroupStats:
+        return _GroupStats(self.pools)
+
+    def crash(self) -> None:
+        for p in self.pools:
+            p.crash()
+
+
+def shard_config(config: DGAPConfig, shard: int, n_shards: int) -> DGAPConfig:
+    """Per-shard :class:`DGAPConfig` derived from the global one.
+
+    The shard seeds exactly the initial vertices it owns (so the union
+    of shard id spaces equals the unsharded initial id space) and sizes
+    its edge array / pool for its slice of the stream.
+    """
+    lc = local_count(config.init_vertices - 1, shard, n_shards)
+    if lc <= 0:
+        raise GraphError(
+            f"init_vertices={config.init_vertices} < n_shards={n_shards}: "
+            f"shard {shard} would own no initial vertex"
+        )
+    pool_bytes = config.pool_bytes
+    if pool_bytes is not None:
+        pool_bytes = max(1 << 20, pool_bytes // n_shards)
+    return replace(
+        config,
+        init_vertices=lc,
+        init_edges=max(256, -(-config.init_edges // n_shards)),
+        pool_bytes=pool_bytes,
+    )
+
+
+class ShardedDGAP:
+    """Vertex-striped multi-pool DGAP with a routing front-end."""
+
+    def __init__(
+        self,
+        n_shards: int = 4,
+        config: Optional[DGAPConfig] = None,
+        injector: Optional[CrashInjector] = None,
+        faults: Optional[FaultPolicy] = None,
+    ):
+        if n_shards < 1:
+            raise GraphError("need at least one shard")
+        self.config = config or DGAPConfig()
+        self.n_shards = int(n_shards)
+        self.router = ShardRouter(self.n_shards)
+        # One injector across every shard device: crash sweeps count a
+        # single machine-wide persistence-event stream.
+        injector = injector or CrashInjector()
+        self.shards: List[DGAP] = [
+            DGAP(
+                shard_config(self.config, r, self.n_shards),
+                injector=injector,
+                faults=faults,
+            )
+            for r in range(self.n_shards)
+        ]
+        self.pool = ShardPoolGroup([sh.pool for sh in self.shards])
+
+    @classmethod
+    def _assemble(
+        cls, shards: List[DGAP], config: DGAPConfig, n_shards: int
+    ) -> "ShardedDGAP":
+        host = cls.__new__(cls)
+        host.config = config
+        host.n_shards = n_shards
+        host.router = ShardRouter(n_shards)
+        host.shards = shards
+        host.pool = ShardPoolGroup([sh.pool for sh in shards])
+        return host
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Contiguous global vertex count every shard agrees on."""
+        return global_vertex_count([sh.num_vertices for sh in self.shards])
+
+    @property
+    def num_edges(self) -> int:
+        return sum(sh.num_edges for sh in self.shards)
+
+    def shard_for(self, v: int) -> DGAP:
+        return self.shards[shard_of(int(v), self.n_shards)]
+
+    def out_degree(self, v: int) -> int:
+        return self.shard_for(v).out_degree(to_local(int(v), self.n_shards))
+
+    def out_neighbors(self, v: int) -> np.ndarray:
+        """Live neighbors of global vertex ``v`` (global destination ids)."""
+        return self.shard_for(v).out_neighbors(to_local(int(v), self.n_shards))
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def _power_fail_rest(self) -> None:
+        """A shard device power-failed mid-op: fail the whole machine.
+
+        The device that raised already lost its volatile state
+        (``PMemDevice._tick`` crashes before re-raising); any *other*
+        shard device still holding dirty or in-flight lines loses them
+        here, so recovery always sees a consistent whole-machine outage.
+        """
+        for sh in self.shards:
+            dev = sh.pool.device
+            if dev.dirty_lines or dev.pending_lines:
+                dev.crash()
+
+    def insert_vertex(self, v: int) -> None:
+        """Ensure global vertices ``0..v`` exist (owner shards grow)."""
+        try:
+            for r in range(self.n_shards):
+                lc = local_count(int(v), r, self.n_shards)
+                if lc > self.shards[r].num_vertices:
+                    self.shards[r].insert_vertex(lc - 1)
+        except SimulatedCrash:
+            self._power_fail_rest()
+            raise
+
+    def insert_edge(
+        self, src: int, dst: int, thread_id: int = 0, tombstone: bool = False
+    ) -> None:
+        try:
+            mx = max(int(src), int(dst))
+            if mx >= self.num_vertices:
+                self.insert_vertex(mx)
+            self.shard_for(src).insert_edge(
+                to_local(int(src), self.n_shards),
+                int(dst),
+                thread_id=thread_id,
+                tombstone=tombstone,
+                grow_vertices=False,
+            )
+        except SimulatedCrash:
+            self._power_fail_rest()
+            raise
+
+    def delete_edge(self, src: int, dst: int, thread_id: int = 0) -> None:
+        self.insert_edge(src, dst, thread_id=thread_id, tombstone=True)
+
+    def insert_edges(
+        self,
+        edges: EdgeLike,
+        thread_id: int = 0,
+        batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
+    ) -> int:
+        """Route and bulk-insert; returns accepted edge count.
+
+        Chunking happens *before* routing (same stream cadence as one
+        instance); each chunk grows the owner shards to the chunk's max
+        vertex, then dispatches whole per-shard sub-batches in
+        ascending shard order down the unmodified batched ingest path.
+        """
+        batch = EdgeBatch.coerce(edges)
+        if batch_size is not None and batch_size > 0 and len(batch) > batch_size:
+            return sum(
+                self._dispatch(c, thread_id) for c in batch.chunks(batch_size)
+            )
+        return self._dispatch(batch, thread_id)
+
+    def _dispatch(self, chunk: EdgeBatch, thread_id: int) -> int:
+        if len(chunk) == 0:
+            return 0
+        try:
+            mx = chunk.max_vertex()
+            if mx >= self.num_vertices:
+                self.insert_vertex(mx)
+            for r, sub in self.router.split(chunk):
+                self.shards[r].insert_edges(
+                    sub, thread_id=thread_id, batch_size=None, grow_vertices=False
+                )
+        except SimulatedCrash:
+            self._power_fail_rest()
+            raise
+        return len(chunk)
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+    def global_csr(self):
+        """Merged global ``((out_indptr, out_dsts), (in_indptr, in_srcs))``.
+
+        Byte-identical to an unsharded build of the same edge stream
+        (DESIGN.md §14); incrementally maintained per shard by the
+        epoch-versioned view caches.
+        """
+        from .merge import ShardedViewCache
+
+        cache = getattr(self, "_view_cache", None)
+        if cache is None:
+            cache = self._view_cache = ShardedViewCache(self)
+        return cache.materialize()
+
+    # ------------------------------------------------------------------
+    # diagnostics / lifecycle
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        for r, sh in enumerate(self.shards):
+            try:
+                sh.check_invariants()
+            except GraphError as exc:
+                raise GraphError(f"shard {r}: {exc}") from exc
+
+    def shutdown(self) -> None:
+        for sh in self.shards:
+            sh.shutdown()
+
+    @classmethod
+    def open(
+        cls, pool: ShardPoolGroup, config: Optional[DGAPConfig] = None
+    ) -> "ShardedDGAP":
+        """Reopen every shard from its pool (normal restart or recovery).
+
+        Shards recover *concurrently on the modeled clock*: each
+        shard's replay accrues to its own device, so the modeled
+        recovery makespan is the max over per-shard deltas — the
+        crash-sweep driver measures exactly that via
+        :func:`~repro.testing.crashsweep.pool_clocks`.
+        """
+        config = config or DGAPConfig()
+        n = len(pool.pools)
+        shards = [
+            DGAP.open(p, shard_config(config, r, n))
+            for r, p in enumerate(pool.pools)
+        ]
+        return cls._assemble(shards, config, n)
+
+
+__all__ = ["ShardedDGAP", "ShardPoolGroup", "shard_config"]

@@ -10,7 +10,9 @@ from .crashsweep import (
     SweepFailure,
     SweepReport,
     crash_sweep,
+    make_batched_insert_workload,
     make_insert_workload,
+    pool_clocks,
     verify_recovered_graph,
 )
 from .racecheck import (
@@ -72,6 +74,8 @@ __all__ = [
     "check_lock_discipline",
     "crash_sweep",
     "events_from_tuples",
+    "make_batched_insert_workload",
+    "pool_clocks",
     "explore_scenario",
     "explore_schedules",
     "make_insert_workload",

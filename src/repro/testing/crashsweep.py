@@ -26,6 +26,16 @@ image.
 
 Oracle violations raise :class:`SweepFailure` naming the exact crash
 point (op kind, per-kind index, total index) to re-arm for debugging.
+
+The driver is graph-shape agnostic: a :class:`~repro.sharding.sharded.
+ShardedDGAP` factory works unchanged because every shard device shares
+one injector (a single machine-wide event ordering), the facade
+power-fails sibling devices when one shard crashes, ``pool_clocks``
+measures recovery as the max over per-shard modeled clock deltas
+(shards replay concurrently), and ``("batch", EdgeBatch)`` workload ops
+(:func:`make_batched_insert_workload`) sweep crashes that land
+*mid-dispatch* — between per-shard sub-batches of one routed batch —
+against a per-vertex-prefix oracle.
 """
 
 from __future__ import annotations
@@ -37,12 +47,15 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.batch import DEFAULT_BATCH_SIZE, EdgeBatch
 from ..errors import MediaError, RecoveryError, SimulatedCrash
 from ..pmem.crash import CrashInjector
 from ..pmem.faults import DEFAULT_POLICY, FaultPolicy
 
-#: One workload operation: ("insert" | "delete", src, dst).
-Op = Tuple[str, int, int]
+#: One workload operation: ``("insert" | "delete", src, dst)`` or a
+#: routed bulk mutation ``("batch", EdgeBatch)`` (insert-only batches;
+#: see :func:`make_batched_insert_workload`).
+Op = Tuple
 
 #: Builds a fresh system on a fresh pool wired to the given injector and
 #: fault policy; the driver calls it once per crash point.
@@ -117,17 +130,16 @@ class SweepReport:
         )
 
     def recovery_stats(self) -> Dict[str, float]:
-        ns = self.recovery_ns()
-        if ns.size == 0:
-            return {}
-        return {
-            "min_us": float(ns.min()) * 1e-3,
-            "p50_us": float(np.percentile(ns, 50)) * 1e-3,
-            "mean_us": float(ns.mean()) * 1e-3,
-            "p90_us": float(np.percentile(ns, 90)) * 1e-3,
-            "p95_us": float(np.percentile(ns, 95)) * 1e-3,
-            "max_us": float(ns.max()) * 1e-3,
-        }
+        """Six-point recovery-time summary (µs), p50 alongside p90.
+
+        Routed through the shared :func:`repro.bench.reporting.
+        distribution_stats` helper (imported lazily — ``repro.bench``
+        pulls the whole harness in, which this testing module must not
+        do at import time).
+        """
+        from ..bench.reporting import distribution_stats
+
+        return distribution_stats(self.recovery_ns() * 1e-3, unit="us")
 
     def in_flight_applied_count(self) -> int:
         return sum(1 for r in self.results if r.in_flight_applied)
@@ -144,26 +156,65 @@ def make_insert_workload(edges: Sequence[Tuple[int, int]]) -> List[Op]:
     return [("insert", int(s), int(d)) for s, d in edges]
 
 
+def make_batched_insert_workload(
+    edges, batch_size: int = DEFAULT_BATCH_SIZE
+) -> List[Op]:
+    """Chunk an edge stream into ``("batch", EdgeBatch)`` ops.
+
+    One op = one routed dispatch round: on a sharded graph each batch
+    is split per shard and the sub-batches dispatched in turn, so a
+    crash can land *between* per-shard dispatches of one op — exactly
+    the torn-multi-shard-batch case the sweep must cover.  Batches are
+    insert-only (the per-vertex-prefix in-flight oracle relies on the
+    batched ingest path's stream-order contract for inserts).
+    """
+    batch = EdgeBatch.coerce(edges)
+    if batch.tombstone.any():
+        raise ValueError("batched sweep workloads must be insert-only")
+    return [("batch", c) for c in batch.chunks(batch_size)]
+
+
 def _apply_op(g, op: Op) -> None:
-    kind, src, dst = op
+    kind = op[0]
     if kind == "insert":
-        g.insert_edge(src, dst)
+        g.insert_edge(op[1], op[2])
     elif kind == "delete":
-        g.delete_edge(src, dst)
+        g.delete_edge(op[1], op[2])
+    elif kind == "batch":
+        # Chunking already happened in the workload builder; one op is
+        # one dispatch round.
+        g.insert_edges(op[1], batch_size=None)
     else:
         raise ValueError(f"unknown workload op kind {kind!r}")
+
+
+def _batch_per_src(batch: EdgeBatch) -> Dict[int, List[int]]:
+    """Per-source destination sequence of a batch, in stream order."""
+    per: Dict[int, List[int]] = {}
+    for s, d in zip(batch.src.tolist(), batch.dst.tolist()):
+        per.setdefault(s, []).append(d)
+    return per
+
+
+def _ordered_ops(ops: Sequence[Op]) -> bool:
+    """Insert-only workloads guarantee per-vertex order; deletes don't."""
+    return all(op[0] in ("insert", "batch") for op in ops)
 
 
 def _expected_state(ops: Sequence[Op], nv: int) -> Dict[int, List[int]]:
     """Per-vertex neighbor sequence after applying ``ops`` in order."""
     state: Dict[int, List[int]] = {v: [] for v in range(nv)}
-    for kind, src, dst in ops:
+    for op in ops:
+        kind = op[0]
         if kind == "insert":
-            state[src].append(dst)
+            state.setdefault(op[1], []).append(op[2])
+        elif kind == "batch":
+            for s, d in zip(op[1].src.tolist(), op[1].dst.tolist()):
+                state.setdefault(s, []).append(d)
         else:
-            lst = state[src]
+            lst = state.setdefault(op[1], [])
             for i in range(len(lst) - 1, -1, -1):
-                if lst[i] == dst:
+                if lst[i] == op[2]:
                     del lst[i]
                     break
     return state
@@ -194,23 +245,45 @@ def verify_recovered_graph(
     """Assert prefix consistency; returns whether the in-flight op landed.
 
     ``acked`` operations completed before the crash; operation
-    ``ops[acked]`` (if any) was in flight and may be visible exactly
-    once or not at all.  Everything else must match the acked prefix
-    exactly.  Raises :class:`SweepFailure` naming ``where`` otherwise.
+    ``ops[acked]`` (if any) was in flight.  A scalar in-flight op may be
+    visible exactly once or not at all.  An in-flight ``("batch", ...)``
+    op may be *partially* visible, but only as a per-vertex prefix of
+    the batch's per-source destination sequence — the batched ingest
+    path processes each vertex's edges in stream order (scalar
+    equivalence contract), and on a sharded graph a crash between
+    per-shard dispatches leaves whole shards unapplied, which is still a
+    per-vertex prefix (each vertex lives in exactly one shard).
+    Everything else must match the acked prefix exactly.  Raises
+    :class:`SweepFailure` naming ``where`` otherwise.
     """
     nv = g.num_vertices
-    ordered = all(op[0] == "insert" for op in ops)
+    ordered = _ordered_ops(ops)
     without = _expected_state(ops[:acked], nv)
     in_flight: Optional[Op] = ops[acked] if acked < len(ops) else None
+    in_flight_batch = in_flight is not None and in_flight[0] == "batch"
+    batch_extra: Dict[int, List[int]] = (
+        _batch_per_src(in_flight[1]) if in_flight_batch else {}
+    )
     with_op = None
-    if in_flight is not None:
+    if in_flight is not None and not in_flight_batch:
         with_op = _expected_state(list(ops[: acked + 1]), nv)
 
     in_flight_applied: Optional[bool] = None
     for v in range(nv):
         got = [int(d) for d in g.out_neighbors(v)]
-        want = without[v]
-        if in_flight is not None and in_flight[1] == v:
+        want = without.get(v, [])
+        if in_flight_batch and v in batch_extra:
+            extra = batch_extra[v]
+            tail = got[len(want):]
+            if got[: len(want)] != want or tail != extra[: len(tail)]:
+                raise SweepFailure(
+                    f"[{where}] vertex {v}: recovered {got} is not the acked "
+                    f"prefix {want} plus a prefix of the in-flight batch's "
+                    f"edges {extra}"
+                )
+            if tail:
+                in_flight_applied = True
+        elif in_flight is not None and not in_flight_batch and in_flight[1] == v:
             if _match(got, want, ordered):
                 in_flight_applied = False
             elif _match(got, with_op[v], ordered):
@@ -225,6 +298,8 @@ def verify_recovered_graph(
                 f"[{where}] vertex {v}: recovered {got} != acked prefix {want} "
                 f"(phantom, duplicate or lost edge)"
             )
+    if in_flight_batch and in_flight_applied is None:
+        in_flight_applied = False
 
     if check_invariants:
         try:
@@ -235,19 +310,22 @@ def verify_recovered_graph(
     if check_log_cursors:
         from ..core.edge_log import EdgeLogs
 
-        fresh = EdgeLogs(
-            g.pool, g.logs.n_sections, g.logs.entries_per_section,
-            gen=g.ea.gen, create=False,
-        )
-        fresh.rebuild_counts()
-        if not (
-            np.array_equal(fresh.counts, g.logs.counts)
-            and np.array_equal(fresh.live_counts, g.logs.live_counts)
-        ):
-            raise SweepFailure(
-                f"[{where}] edge-log cursors disagree with an independent "
-                f"rebuild: {g.logs.counts.tolist()} vs {fresh.counts.tolist()}"
+        # A sharded graph exposes its members via ``shards``; every
+        # shard's cursors must match its own independent rebuild.
+        for part in getattr(g, "shards", [g]):
+            fresh = EdgeLogs(
+                part.pool, part.logs.n_sections, part.logs.entries_per_section,
+                gen=part.ea.gen, create=False,
             )
+            fresh.rebuild_counts()
+            if not (
+                np.array_equal(fresh.counts, part.logs.counts)
+                and np.array_equal(fresh.live_counts, part.logs.live_counts)
+            ):
+                raise SweepFailure(
+                    f"[{where}] edge-log cursors disagree with an independent "
+                    f"rebuild: {part.logs.counts.tolist()} vs {fresh.counts.tolist()}"
+                )
     return in_flight_applied
 
 
@@ -275,13 +353,27 @@ def _run_workload(g, ops: Sequence[Op]) -> Tuple[int, Optional[SimulatedCrash]]:
     return acked, None
 
 
+def pool_clocks(pool) -> np.ndarray:
+    """Per-pool modeled clocks: one entry per shard pool, one for a plain pool.
+
+    Shards replay concurrently on the modeled clock, so recovery time is
+    ``max(after - before)`` over this vector — max-over-shards, never the
+    sum.  (Delta-of-max would under-count when the busiest pool before
+    the crash is not the one that replays longest.)
+    """
+    pools = getattr(pool, "pools", None)
+    if pools is None:
+        return np.array([pool.stats.modeled_ns])
+    return np.array([p.stats.modeled_ns for p in pools])
+
+
 def _reference_recovery(g, open_graph) -> Tuple[Dict[int, List[int]], float]:
     """Recover a deep copy of the crashed pool; its state is the reference."""
     ref_pool = copy.deepcopy(g.pool)
     ref_pool.device.injector = CrashInjector()  # never crashes
-    ns0 = ref_pool.stats.modeled_ns
+    ns0 = pool_clocks(ref_pool)
     ref = open_graph(ref_pool, g.config)
-    return _graph_state(ref), ref_pool.stats.modeled_ns - ns0
+    return _graph_state(ref), float((pool_clocks(ref_pool) - ns0).max())
 
 
 def crash_sweep(
@@ -355,7 +447,7 @@ def crash_sweep(
                     g2 = open_graph(pool, g.config)
                 inj.disarm()
                 got = _graph_state(g2)
-                ordered = all(op[0] == "insert" for op in ops)
+                ordered = _ordered_ops(ops)
                 for v, want in ref_state.items():
                     if not _match(got.get(v, []), want, ordered):
                         raise SweepFailure(
@@ -365,9 +457,9 @@ def crash_sweep(
                             f"the same image gives {want}"
                         )
             else:
-                ns0 = pool.stats.modeled_ns
+                ns0 = pool_clocks(pool)
                 g2 = open_graph(pool, g.config)
-                rec_ns = pool.stats.modeled_ns - ns0
+                rec_ns = float((pool_clocks(pool) - ns0).max())
         except (RecoveryError, MediaError) as exc:
             inj.disarm()
             if cfg.faults.poison_on_crash <= 0.0 and not cfg.faults.runtime_active:
@@ -423,5 +515,7 @@ __all__ = [
     "SweepReport",
     "crash_sweep",
     "make_insert_workload",
+    "make_batched_insert_workload",
+    "pool_clocks",
     "verify_recovered_graph",
 ]

@@ -59,11 +59,21 @@ class VThreadResult:
 class VirtualThreadScheduler:
     """Replay a stream over one DGAP instance with per-thread clocks."""
 
-    def __init__(self, graph: DGAP, n_threads: int, record_events: bool = False):
+    def __init__(
+        self,
+        graph: DGAP,
+        n_threads: int,
+        record_events: bool = False,
+        grow_vertices: bool = True,
+    ):
         if n_threads < 1:
             raise ValueError("need at least one virtual thread")
         self.graph = graph
         self.n_threads = n_threads
+        #: sharded replays disable growth: sources are pre-grown
+        #: shard-locally and destinations are global ids that must never
+        #: materialize local vertices.
+        self.grow_vertices = grow_vertices
         self.clock = np.zeros(n_threads)  # ns, per virtual thread
         self.busy = np.zeros(n_threads)
         self.lock_wait_ns = 0.0
@@ -114,7 +124,7 @@ class VirtualThreadScheduler:
 
             ns0 = dev.stats.modeled_ns
             g.op_rebalance_windows.clear()
-            g.insert_edge(src, dst)
+            g.insert_edge(src, dst, grow_vertices=self.grow_vertices)
             op_ns = dev.stats.modeled_ns - ns0
 
             # A triggered rebalance holds its whole window.  The real
@@ -174,4 +184,66 @@ def simulate_threads(
     return out
 
 
-__all__ = ["VirtualThreadScheduler", "VThreadResult", "simulate_threads"]
+@dataclass
+class ShardedVThreadResult(VThreadResult):
+    """Combined replay outcome across shards (makespan = max over shards)."""
+
+    per_shard: List[VThreadResult] = field(default_factory=list)
+
+
+def run_sharded(sharded, edges, n_threads: int) -> ShardedVThreadResult:
+    """Replay a stream over a :class:`~repro.sharding.sharded.ShardedDGAP`.
+
+    The writer threads are partitioned across shards and each shard runs
+    its own :class:`VirtualThreadScheduler` over its routed sub-stream —
+    independent section-lock tables, independent per-thread clocks, and,
+    critically, an independent media-bandwidth floor per *pool*.  Shards
+    execute concurrently, so the combined makespan is the **max** over
+    per-shard makespans: N pools are N media lanes, which is what lets
+    modeled ingest MEPS exceed the single-pool bandwidth ceiling of
+    Table 3 (see ``benchmarks/test_shard_scaling.py``).
+    """
+    from ..core.batch import EdgeBatch
+
+    n = sharded.n_shards
+    batch = EdgeBatch.coerce(
+        np.asarray(list(map(tuple, edges)), dtype=np.int64)
+        if not isinstance(edges, (EdgeBatch, np.ndarray))
+        else edges
+    )
+    mx = batch.max_vertex()
+    if mx >= sharded.num_vertices:
+        sharded.insert_vertex(mx)
+
+    base, rem = divmod(n_threads, n)
+    results: List[VThreadResult] = []
+    for r, sub in sharded.router.split(batch):
+        tr = max(1, base + (1 if r < rem else 0))
+        sched = VirtualThreadScheduler(
+            sharded.shards[r], tr, grow_vertices=False
+        )
+        pairs = list(zip(sub.src.tolist(), sub.dst.tolist()))
+        results.append(sched.run(pairs))
+
+    makespan = max((res.makespan_s for res in results), default=0.0)
+    busy: List[float] = []
+    for res in results:
+        busy.extend(res.thread_busy_s)
+    return ShardedVThreadResult(
+        n_threads=sum(res.n_threads for res in results),
+        edges=len(batch),
+        makespan_s=makespan,
+        thread_busy_s=busy,
+        lock_wait_s=sum(res.lock_wait_s for res in results),
+        pm_media_bytes=sum(res.pm_media_bytes for res in results),
+        per_shard=results,
+    )
+
+
+__all__ = [
+    "VirtualThreadScheduler",
+    "VThreadResult",
+    "ShardedVThreadResult",
+    "run_sharded",
+    "simulate_threads",
+]

@@ -115,6 +115,79 @@ class TestEdgeBatch:
         extend_adjacency(adj, srcs, dsts)
         assert adj == [[8, 5], [6], [9, 7, 4], []]
 
+    # -- routing hooks (shard_keys / select), used by ShardRouter.split --
+
+    def test_shard_keys_match_partition_function(self):
+        from repro.sharding.partition import shard_of
+
+        b = EdgeBatch(np.array([0, 1, 7, 8, 1024]), np.array([1, 2, 3, 4, 5]))
+        for n in (1, 2, 3, 4):
+            np.testing.assert_array_equal(
+                b.shard_keys(n), shard_of(b.src, n)
+            )
+        with pytest.raises(GraphError):
+            b.shard_keys(0)
+
+    def test_route_empty_batch(self):
+        from repro.sharding import ShardRouter
+
+        assert ShardRouter(4).split(EdgeBatch.empty()) == []
+        assert ShardRouter(1).split(EdgeBatch.empty()) == []
+
+    def test_route_all_tombstone_batch(self):
+        from repro.sharding import ShardRouter
+
+        b = EdgeBatch(
+            np.array([0, 1, 2, 3]),
+            np.array([9, 9, 9, 9]),
+            np.ones(4, dtype=bool),
+        )
+        parts = ShardRouter(2).split(b)
+        assert sum(len(sub) for _, sub in parts) == 4
+        for _, sub in parts:
+            assert sub.tombstone.all()
+            assert sub.live_deltas().sum() == -len(sub)
+
+    def test_route_single_vertex_hot_batch(self):
+        # every edge shares one source: exactly one shard gets the whole
+        # batch, and its local source is the same dense id throughout
+        from repro.sharding import ShardRouter
+        from repro.sharding.partition import shard_of, to_local
+
+        src = 12
+        b = EdgeBatch(np.full(32, src), np.arange(32))
+        parts = ShardRouter(4).split(b)
+        assert len(parts) == 1
+        r, sub = parts[0]
+        assert r == shard_of(src, 4)
+        assert len(sub) == 32
+        assert (sub.src == to_local(src, 4)).all()
+        np.testing.assert_array_equal(sub.dst, b.dst)  # dsts stay global
+
+    def test_select_preserves_tombstone_flags_and_copies(self):
+        b = EdgeBatch(
+            np.array([4, 5, 6, 7]),
+            np.array([1, 2, 3, 4]),
+            np.array([False, True, False, True]),
+        )
+        sub = b.select(np.array([1, 3]))
+        np.testing.assert_array_equal(sub.tombstone, [True, True])
+        np.testing.assert_array_equal(sub.src, [5, 7])
+        sub.src[:] = 0  # a copy: mutating the sub-batch leaves b intact
+        np.testing.assert_array_equal(b.src, [4, 5, 6, 7])
+
+    def test_route_preserves_per_shard_stream_order(self):
+        from repro.sharding import ShardRouter
+        from repro.sharding.partition import shard_of, to_local
+
+        rng = np.random.default_rng(3)
+        srcs = rng.integers(0, 100, size=200)
+        b = EdgeBatch(srcs, np.arange(200))
+        for r, sub in ShardRouter(3).split(b):
+            mask = shard_of(srcs, 3) == r
+            np.testing.assert_array_equal(sub.src, to_local(srcs[mask], 3))
+            np.testing.assert_array_equal(sub.dst, np.arange(200)[mask])
+
 
 def _run_pattern(profile, fn_scalar, fn_batched):
     """Run the same op stream scalar vs batched; compare full device state."""

@@ -5,6 +5,7 @@ import pytest
 
 from repro.datasets import (
     DATASETS,
+    PAPER_DATASETS,
     SMALL_DATASETS,
     get_dataset,
     rmat_edges,
@@ -62,9 +63,16 @@ class TestRMAT:
 
 class TestRegistry:
     def test_all_six_paper_datasets(self):
-        assert set(DATASETS) == {
+        assert set(PAPER_DATASETS) == {
             "orkut", "livejournal", "citpatents", "twitter", "friendster", "protein"
         }
+
+    def test_registry_adds_scale_notch(self):
+        assert set(DATASETS) == set(PAPER_DATASETS) | {"scale"}
+        s = get_dataset("scale")
+        assert s.domain == "synthetic"
+        # strictly above the largest paper proxy so shard runs have headroom
+        assert s.proxy_vertices > max(p.proxy_vertices for p in PAPER_DATASETS.values())
 
     def test_ratios_match_paper_table2(self):
         assert get_dataset("orkut").ratio == 76
