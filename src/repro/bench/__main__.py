@@ -239,6 +239,47 @@ def cmd_shard(args) -> None:
         raise SystemExit("merged sharded view diverged from the unsharded build")
 
 
+def cmd_serve(args) -> None:
+    """Online serving: Zipfian point queries under a concurrent write stream."""
+    from ..serve import ServeWorkloadConfig, generate_workload, run_serve_workload
+    from .reporting import serve_latency_table
+
+    spec = get_dataset(args.dataset)
+    edges = spec.generate(args.scale)
+    nv, _ = spec.sizes(args.scale)
+    cfg = ServeWorkloadConfig(
+        n_ops=args.ops,
+        read_fraction=args.read_fraction,
+        zipf_theta=args.theta,
+        n_clients=args.clients,
+        mode=args.mode,
+        seed=args.seed,
+    )
+    if args.shards > 1:
+        from ..sharding import ShardedDGAP
+
+        graph = ShardedDGAP(
+            args.shards, DGAPConfig(init_vertices=nv, init_edges=edges.shape[0])
+        )
+        flavor = f"{args.shards} shards"
+    else:
+        graph = DGAP(DGAPConfig(init_vertices=nv, init_edges=edges.shape[0]))
+        flavor = "unsharded"
+    graph.insert_edges(edges, batch_size=_batch_size(args))
+    ops = generate_workload(nv, cfg)
+    report = run_serve_workload(graph, ops, cfg, twin_check=args.twin)
+    print(serve_latency_table(
+        report,
+        f"serve latency — {args.dataset} (scale {args.scale:g}, {flavor}, "
+        f"{cfg.mode} loop, theta {cfg.zipf_theta:g})",
+    ))
+    if args.twin and not report.identity_ok:
+        raise SystemExit(
+            f"served reads diverged from fresh-snapshot reads "
+            f"({report.mismatches} mismatches)"
+        )
+
+
 _SWEEP_POLICIES = ("default", "torn", "reorder", "adversarial")
 
 
@@ -509,6 +550,26 @@ def main(argv=None) -> int:
                    help="fail unless at least this many fault points fired")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_soak)
+
+    p = sub.add_parser(
+        "serve",
+        help="online point queries under concurrent writes (snapshot-isolated views)",
+    )
+    p.add_argument("--dataset", default="orkut", choices=sorted(DATASETS))
+    p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument("--ops", type=int, default=1500)
+    p.add_argument("--read-fraction", type=float, default=0.95)
+    p.add_argument("--theta", type=float, default=0.99)
+    p.add_argument("--clients", type=int, default=8)
+    p.add_argument("--mode", default="closed", choices=("closed", "open"))
+    p.add_argument("--shards", type=int, default=1,
+                   help="shard count (1 = unsharded DGAP)")
+    p.add_argument("--batch-size", type=int, default=DEFAULT_BATCH_SIZE)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--twin", action="store_true",
+                   help="also run every read on a fresh snapshot and require "
+                        "byte-identical results")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
         "race-check",

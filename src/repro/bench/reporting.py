@@ -11,32 +11,45 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence
 
 #: The canonical distribution summary order, shared by every consumer
-#: (crash-sweep reports, shard benchmarks) so tables line up.
-DISTRIBUTION_KEYS = ("min", "p50", "mean", "p90", "p95", "max")
+#: (crash-sweep reports, shard benchmarks, the serving layer's
+#: tail-latency tables) so tables line up.  ``p99`` is the serving
+#: layer's headline tail metric.
+DISTRIBUTION_KEYS = ("min", "p50", "mean", "p90", "p95", "p99", "max")
+
+#: percentile value behind each ``pNN`` key (min/mean/max are computed
+#: directly).
+_PERCENTILES = {"p50": 50, "p90": 90, "p95": 95, "p99": 99}
 
 
 def distribution_stats(values, unit: str = "us") -> Dict[str, float]:
-    """Six-point summary of a sample: min/p50/mean/p90/p95/max.
+    """Summary of a sample along :data:`DISTRIBUTION_KEYS`.
 
     Keys are suffixed with ``unit`` (``min_us``, ``p50_us``, ...);
     values are expected pre-scaled to that unit.  Returns ``{}`` for an
     empty sample.  This is the single percentile helper — the crash
-    sweep's recovery-time report and the shard-scaling benchmark both
-    route through it instead of hand-rolling ``np.percentile`` calls.
+    sweep's recovery-time report, the shard-scaling benchmark and the
+    serve-workload latency report all route through it instead of
+    hand-rolling ``np.percentile`` calls, and every consumer derives
+    its column list from :data:`DISTRIBUTION_KEYS` so the two can never
+    drift.
     """
     import numpy as np
 
     vals = np.asarray(list(values), dtype=np.float64)
     if vals.size == 0:
         return {}
-    return {
-        f"min_{unit}": float(vals.min()),
-        f"p50_{unit}": float(np.percentile(vals, 50)),
-        f"mean_{unit}": float(vals.mean()),
-        f"p90_{unit}": float(np.percentile(vals, 90)),
-        f"p95_{unit}": float(np.percentile(vals, 95)),
-        f"max_{unit}": float(vals.max()),
-    }
+    out: Dict[str, float] = {}
+    for key in DISTRIBUTION_KEYS:
+        if key == "min":
+            val = float(vals.min())
+        elif key == "mean":
+            val = float(vals.mean())
+        elif key == "max":
+            val = float(vals.max())
+        else:
+            val = float(np.percentile(vals, _PERCENTILES[key]))
+        out[f"{key}_{unit}"] = val
+    return out
 
 
 def format_table(
@@ -161,9 +174,10 @@ def crash_sweep_table(report, title: str = "crash sweep") -> str:
         ("unrecoverable (reported)", report.unrecoverable_count()),
     ]
     stats = report.recovery_stats()
-    for key in ("min_us", "p50_us", "mean_us", "p90_us", "p95_us", "max_us"):
+    for name in DISTRIBUTION_KEYS:
+        key = f"{name}_us"
         if key in stats:
-            rows.append((f"recovery {key[:-3]} (us)", stats[key]))
+            rows.append((f"recovery {name} (us)", stats[key]))
     return format_table(title, ["metric", "value"], rows, floatfmt="{:.2f}")
 
 
@@ -313,6 +327,47 @@ def profile_table(tracer, title: str = "profile") -> str:
 #: per-test stdout of passing tests, so the benchmarks' conftest flushes
 #: this registry in ``pytest_terminal_summary`` — that is how every table
 #: reaches the tee'd ``bench_output.txt``.
+def serve_latency_table(report, title: str = "serve latency") -> str:
+    """Summarize a :class:`~repro.serve.driver.ServeReport`.
+
+    Two tables: run-level facts (mode, mix, view reuse, twin identity
+    and read speedup when the twin ran), then the per-class modeled
+    latency distribution along :data:`DISTRIBUTION_KEYS` — ``p99``
+    included, since tail behavior (the refresh-triggering read after a
+    write) is the point of the serving layer.
+    """
+    head = [
+        ("ops (reads / writes)", f"{report.ops} ({report.reads} / {report.writes})"),
+        ("load model", f"{report.mode} ({report.n_clients} clients)"),
+        ("view refreshes / reuses", f"{report.refreshes} / {report.reuses}"),
+        ("reuse ratio", report.reuse_ratio),
+        ("makespan (modeled ms)", report.makespan_ns * 1e-6),
+    ]
+    if report.identity_checked:
+        head += [
+            ("twin byte-identical", "yes" if report.identity_ok else "NO"),
+            ("read speedup vs per-query snapshots (modeled)", report.modeled_read_speedup),
+            ("read speedup vs per-query snapshots (wall)", report.wall_read_speedup),
+        ]
+    out = [format_table(title, ["metric", "value"], head)]
+    for arm in ("served", "snapshot"):
+        stats = report.stats(arm)
+        if not stats:
+            continue
+        rows = [
+            [cls, len(report.latencies[cls]) if arm == "served"
+             else len(report.snapshot_latencies[cls])]
+            + [st.get(f"{k}_us", 0.0) for k in DISTRIBUTION_KEYS]
+            for cls, st in stats.items()
+        ]
+        out.append(format_table(
+            f"{title} — {arm} arm (modeled us per query)",
+            ["class", "ops", *DISTRIBUTION_KEYS],
+            rows,
+        ))
+    return "\n\n".join(out)
+
+
 _REPORTS: List[str] = []
 
 
@@ -336,6 +391,7 @@ __all__ = [
     "ingest_phase_table",
     "analysis_loop_table",
     "crash_sweep_table",
+    "serve_latency_table",
     "soak_table",
     "profile_table",
     "race_check_table",

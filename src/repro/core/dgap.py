@@ -200,6 +200,11 @@ class DGAP:
         """
         self.structure_epoch = 0
         self._section_epoch = np.zeros(self.ea.n_sections, dtype=np.int64)
+        #: epoch-keyed snapshot serving point reads (`out_neighbors`):
+        #: re-taken only when the structure epoch moves, so a read burst
+        #: between writes pays one snapshot, not one per call.
+        self._point_snap: Optional[DGAPSnapshot] = None
+        self._point_snap_epoch = -1
 
     def _touch_sections(self, sections) -> None:
         """Stamp ``sections`` (index, slice or array) with a fresh epoch."""
@@ -902,10 +907,40 @@ class DGAP:
         self.va.check(v)
         return int(self.va.live_degree[v])
 
+    def point_view(self) -> DGAPSnapshot:
+        """Epoch-keyed snapshot for point reads.
+
+        Every structural mutation bumps ``structure_epoch``, so a
+        snapshot taken at the current epoch stays exact until the next
+        write — point reads between writes share one cached snapshot
+        instead of paying a fresh Degree-Cache copy (and
+        ``_active_snapshots`` churn) per call.  The cached snapshot is
+        owned by the graph: callers must not ``release()`` it (it is
+        dropped automatically on the next epoch change or shutdown).
+        """
+        snap = self._point_snap
+        if (
+            snap is None
+            or snap._released
+            or self._point_snap_epoch != self.structure_epoch
+        ):
+            self._drop_point_view()
+            snap = self.consistent_view()
+            self._point_snap = snap
+            self._point_snap_epoch = self.structure_epoch
+        return snap
+
+    def _drop_point_view(self) -> None:
+        if self._point_snap is not None:
+            if not self._point_snap._released:
+                self._point_snap.release()
+            self._point_snap = None
+            self._point_snap_epoch = -1
+
     def out_neighbors(self, v: int) -> np.ndarray:
-        """Current live neighbors of ``v`` (unsnapshotted convenience read)."""
-        with self.consistent_view() as snap:
-            return snap.out_neighbors(v)
+        """Current live neighbors of ``v`` (point read, cached per epoch)."""
+        self.va.check(v)
+        return self.point_view().out_neighbors(v)
 
     # ------------------------------------------------------------------
     # shutdown / reopen (paper §3.1.5)
@@ -914,6 +949,7 @@ class DGAP:
 
     def shutdown(self) -> None:
         """Graceful shutdown: persist DRAM components, set NORMAL_SHUTDOWN."""
+        self._drop_point_view()
         if self._active_snapshots:
             raise GraphError("shutdown with active analysis snapshots")
         with trace("shutdown"):

@@ -1,0 +1,368 @@
+"""Replay a serve op stream on the modeled clock; twin byte-identity.
+
+The driver executes one generated op stream (:func:`~repro.serve.
+workload.generate_workload`) against a live graph:
+
+* **writes** go down the real ingest path (``insert_edges``) and are
+  serialized on a single writer lane; their service time is the PM
+  device's modeled-clock delta, exactly as the vthreads scheduler
+  accounts ingest.
+* **reads** acquire a :class:`~repro.serve.server.ServeView` (paying
+  the epoch check, or the refresh when a write moved the epoch) and run
+  wait-free — the arrays they read are immutable, so reads never queue
+  behind writes or each other.
+
+Two load models share the loop: **closed** (``n_clients`` think-free
+clients with per-client clocks, as in
+:class:`~repro.workloads.vthreads.VirtualThreadScheduler`) and **open**
+(seeded Poisson arrivals at ``arrival_rate_ops_per_s``; latency is
+completion minus arrival, so queueing at the writer lane shows up in
+write tails).
+
+With ``twin_check=True`` every read also runs against
+:class:`SnapshotReader` — the pre-serving behavior of opening a fresh
+Degree-Cache snapshot per query — and the results are compared
+byte-for-byte.  That twin is both the correctness oracle (served reads
+must equal direct snapshot reads at every stream point) and the
+baseline for the view-reuse speedup.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..analysis.view import ID_DTYPE
+from ..obs.tracer import annotate, trace
+from .server import (
+    QueryServer,
+    degree_ns,
+    k_hop_ns,
+    row_ns,
+    scan_ns,
+    snapshot_open_ns,
+    top_k_from_degrees,
+    top_k_ns,
+)
+from .workload import ServeWorkloadConfig
+
+QUERY_CLASSES: Tuple[str, ...] = (
+    "degree",
+    "neighbors",
+    "edge_exists",
+    "k_hop",
+    "top_k_degree",
+)
+
+
+class SnapshotReader:
+    """The pre-serving read path: a fresh snapshot per query.
+
+    Implements the same query surface as :class:`~repro.serve.server.
+    ServeView`, but every call opens (and releases) a Degree-Cache
+    snapshot — per owner shard for point queries, per every shard for
+    the global ones — and pays :func:`snapshot_open_ns` on top of the
+    identical read cost.  The twin runner uses it as the byte-identity
+    oracle and the speedup baseline.
+    """
+
+    def __init__(self, graph) -> None:
+        self.graph = graph
+        self.sharded = hasattr(graph, "shards")
+        self.last_query_ns = 0.0
+
+    # -- helpers -----------------------------------------------------------
+    def _owner(self, v: int):
+        """(shard graph, local id) for a global vertex."""
+        if not self.sharded:
+            return self.graph, int(v)
+        from ..sharding.partition import to_local
+
+        return self.graph.shard_for(int(v)), to_local(int(v), self.graph.n_shards)
+
+    # -- queries -----------------------------------------------------------
+    def degree(self, v: int) -> int:
+        host, lv = self._owner(v)
+        with host.consistent_view() as snap:
+            self.last_query_ns = snapshot_open_ns(snap.num_vertices) + degree_ns()
+            return snap.out_degree(lv)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        host, lv = self._owner(v)
+        with host.consistent_view() as snap:
+            row = snap.out_neighbors(lv)
+            self.last_query_ns = snapshot_open_ns(snap.num_vertices) + row_ns(row.size)
+            return row
+
+    def edge_exists(self, u: int, w: int) -> bool:
+        host, lu = self._owner(u)
+        with host.consistent_view() as snap:
+            row = snap.out_neighbors(lu)
+            hits = np.flatnonzero(row == w)
+            found = hits.size > 0
+            scanned = int(hits[0]) + 1 if found else row.size
+            self.last_query_ns = snapshot_open_ns(snap.num_vertices) + scan_ns(scanned)
+            return found
+
+    def k_hop(self, v: int, k: int) -> np.ndarray:
+        snaps, open_ns, owner = self._open_all()
+        try:
+            nv = self.graph.num_vertices
+            visited = np.zeros(nv, dtype=bool)
+            visited[int(v)] = True
+            frontier = np.array([int(v)], dtype=ID_DTYPE)
+            parts: List[np.ndarray] = []
+            frontier_total = 0
+            edges_total = 0
+            for _ in range(int(k)):
+                if frontier.size == 0:
+                    break
+                rows = [owner(int(u)).out_neighbors(self._local(int(u))) for u in frontier]
+                nbrs = np.concatenate(rows) if rows else np.empty(0, dtype=ID_DTYPE)
+                frontier_total += frontier.size
+                edges_total += nbrs.size
+                fresh = np.unique(nbrs[~visited[nbrs]]).astype(ID_DTYPE)
+                visited[fresh] = True
+                parts.append(fresh)
+                frontier = fresh
+            self.last_query_ns = open_ns + k_hop_ns(frontier_total, edges_total)
+            if not parts:
+                return np.empty(0, dtype=ID_DTYPE)
+            return np.sort(np.concatenate(parts)).astype(ID_DTYPE)
+        finally:
+            for snap in snaps:
+                snap.release()
+
+    def top_k_degree(self, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        nv = self.graph.num_vertices
+        if not self.sharded:
+            with self.graph.consistent_view() as snap:
+                degrees = snap.live_t[:nv].astype(np.int64)
+                open_ns = snapshot_open_ns(nv)
+        else:
+            from ..sharding.partition import local_count, local_ids_to_global
+
+            n = self.graph.n_shards
+            degrees = np.empty(nv, dtype=np.int64)
+            open_ns = 0.0
+            for r, sh in enumerate(self.graph.shards):
+                lc = local_count(nv - 1, r, n)
+                with sh.consistent_view() as snap:
+                    degrees[local_ids_to_global(lc, r, n)] = snap.live_t[:lc]
+                open_ns = max(open_ns, snapshot_open_ns(lc))
+        self.last_query_ns = open_ns + top_k_ns(nv, k)
+        return top_k_from_degrees(degrees, k)
+
+    # -- snapshot plumbing -------------------------------------------------
+    def _local(self, v: int) -> int:
+        if not self.sharded:
+            return v
+        from ..sharding.partition import to_local
+
+        return to_local(v, self.graph.n_shards)
+
+    def _open_all(self):
+        """Open snapshots covering the whole graph (global queries).
+
+        Returns ``(snaps, open_ns, owner)`` where ``owner(v)`` maps a
+        global vertex to the snapshot holding its row; ``open_ns`` is
+        the parallel (max-over-shards) open cost.
+        """
+        if not self.sharded:
+            snap = self.graph.consistent_view()
+            return [snap], snapshot_open_ns(snap.num_vertices), lambda v: snap
+        from ..sharding.partition import shard_of
+
+        n = self.graph.n_shards
+        snaps = [sh.consistent_view() for sh in self.graph.shards]
+        open_ns = max(snapshot_open_ns(s.num_vertices) for s in snaps)
+        return snaps, open_ns, lambda v: snaps[shard_of(v, n)]
+
+
+@dataclass
+class ServeReport:
+    """Per-class modeled latencies plus twin/identity evidence."""
+
+    mode: str
+    n_clients: int
+    ops: int = 0
+    reads: int = 0
+    writes: int = 0
+    #: served-arm modeled latency samples (ns) per class ("write" incl.).
+    latencies: Dict[str, List[float]] = field(default_factory=dict)
+    #: direct fresh-snapshot arm samples (ns), twin runs only.
+    snapshot_latencies: Optional[Dict[str, List[float]]] = None
+    makespan_ns: float = 0.0
+    refreshes: int = 0
+    reuses: int = 0
+    served_read_ns: float = 0.0
+    snapshot_read_ns: float = 0.0
+    wall_served_s: float = 0.0
+    wall_snapshot_s: float = 0.0
+    identity_checked: bool = False
+    mismatches: int = 0
+
+    @property
+    def identity_ok(self) -> bool:
+        return self.identity_checked and self.mismatches == 0
+
+    @property
+    def reuse_ratio(self) -> float:
+        total = self.refreshes + self.reuses
+        return self.reuses / total if total else 0.0
+
+    @property
+    def modeled_read_speedup(self) -> float:
+        """Direct-snapshot read time over served read time (modeled)."""
+        return self.snapshot_read_ns / self.served_read_ns if self.served_read_ns else 0.0
+
+    @property
+    def wall_read_speedup(self) -> float:
+        return self.wall_snapshot_s / self.wall_served_s if self.wall_served_s else 0.0
+
+    def stats(self, arm: str = "served", unit: str = "us") -> Dict[str, Dict[str, float]]:
+        """Per-class distribution stats (``p50`` … ``p99``) in ``unit``."""
+        from ..bench.reporting import distribution_stats
+
+        source = self.latencies if arm == "served" else (self.snapshot_latencies or {})
+        scale = 1e-3 if unit == "us" else 1.0
+        return {
+            cls: distribution_stats(np.asarray(vals) * scale, unit=unit)
+            for cls, vals in source.items()
+            if vals
+        }
+
+
+def _run_query(reader, op: tuple):
+    kind = op[0]
+    if kind == "degree":
+        return reader.degree(op[1])
+    if kind == "neighbors":
+        return reader.neighbors(op[1])
+    if kind == "edge_exists":
+        return reader.edge_exists(op[1], op[2])
+    if kind == "k_hop":
+        return reader.k_hop(op[1], op[2])
+    if kind == "top_k_degree":
+        return reader.top_k_degree(op[1])
+    raise ValueError(f"unknown query op {kind!r}")
+
+
+def _bytes_equal(a, b) -> bool:
+    """Byte-level result identity (dtype-sensitive for arrays)."""
+    if isinstance(a, np.ndarray):
+        return (
+            isinstance(b, np.ndarray)
+            and a.dtype == b.dtype
+            and a.shape == b.shape
+            and a.tobytes() == b.tobytes()
+        )
+    if isinstance(a, tuple):
+        return (
+            isinstance(b, tuple)
+            and len(a) == len(b)
+            and all(_bytes_equal(x, y) for x, y in zip(a, b))
+        )
+    return type(a) is type(b) and a == b
+
+
+def run_serve_workload(
+    graph,
+    ops: List[tuple],
+    config: ServeWorkloadConfig,
+    twin_check: bool = False,
+) -> ServeReport:
+    """Replay ``ops`` against ``graph``; return the latency report.
+
+    Reads are served through one :class:`QueryServer`; writes stream
+    down the ingest path on a serialized writer lane.  With
+    ``twin_check`` every read also runs on the fresh-snapshot arm and
+    must match byte-for-byte (``report.identity_ok``).
+    """
+    server = QueryServer(graph)
+    direct = SnapshotReader(graph) if twin_check else None
+    pool_stats = graph.pool.stats
+
+    n_clients = max(1, int(config.n_clients))
+    closed = config.mode != "open"
+    clocks = np.zeros(n_clients, dtype=np.float64)
+    if not closed:
+        arr_rng = np.random.default_rng(config.seed + 1)
+        mean_gap_ns = 1e9 / float(config.arrival_rate_ops_per_s)
+        arrivals = np.cumsum(arr_rng.exponential(mean_gap_ns, size=len(ops)))
+    writer_free = 0.0
+    max_end = 0.0
+
+    report = ServeReport(
+        mode="closed" if closed else "open",
+        n_clients=n_clients,
+        latencies={cls: [] for cls in (*QUERY_CLASSES, "write")},
+        snapshot_latencies=(
+            {cls: [] for cls in QUERY_CLASSES} if twin_check else None
+        ),
+        identity_checked=twin_check,
+    )
+
+    for i, op in enumerate(ops):
+        kind = op[0]
+        t0 = clocks[i % n_clients] if closed else arrivals[i]
+        if kind == "write":
+            batch = op[1]
+            with trace("serve_write", edges=len(batch)):
+                before = pool_stats.snapshot()
+                graph.insert_edges(batch, batch_size=None)
+                service_ns = pool_stats.delta_since(before).modeled_ns
+                start = max(t0, writer_free)
+                end = start + service_ns
+                writer_free = end
+                latency = end - t0
+                annotate(modeled_latency_ns=latency)
+            report.latencies["write"].append(latency)
+            report.writes += 1
+        else:
+            with trace(f"serve_{kind}"):
+                w0 = time.perf_counter()
+                view = server.acquire()
+                result = _run_query(view, op)
+                report.wall_served_s += time.perf_counter() - w0
+                latency = server.last_acquire_ns + view.last_query_ns
+                annotate(
+                    acquire_ns=server.last_acquire_ns,
+                    query_ns=view.last_query_ns,
+                    modeled_latency_ns=latency,
+                )
+            end = t0 + latency
+            report.latencies[kind].append(latency)
+            report.served_read_ns += latency
+            report.reads += 1
+            if twin_check:
+                w0 = time.perf_counter()
+                reference = _run_query(direct, op)
+                report.wall_snapshot_s += time.perf_counter() - w0
+                report.snapshot_latencies[kind].append(direct.last_query_ns)
+                report.snapshot_read_ns += direct.last_query_ns
+                if not _bytes_equal(result, reference):
+                    report.mismatches += 1
+        if closed:
+            clocks[i % n_clients] = end
+        else:
+            max_end = max(max_end, end)
+        report.ops += 1
+
+    report.refreshes = server.refreshes
+    report.reuses = server.reuses
+    report.makespan_ns = max(
+        float(clocks.max()) if closed else max_end, writer_free
+    )
+    return report
+
+
+__all__ = [
+    "QUERY_CLASSES",
+    "ServeReport",
+    "SnapshotReader",
+    "run_serve_workload",
+]

@@ -36,7 +36,7 @@ import numpy as np
 from ..config import DGAPConfig
 from ..core.batch import DEFAULT_BATCH_SIZE, EdgeBatch, EdgeLike
 from ..core.dgap import DGAP
-from ..errors import GraphError, SimulatedCrash
+from ..errors import GraphError, SimulatedCrash, VertexRangeError
 from ..pmem.crash import CrashInjector
 from ..pmem.faults import FaultPolicy
 from .partition import global_vertex_count, local_count, shard_of, to_local
@@ -237,12 +237,30 @@ class ShardedDGAP:
     def shard_for(self, v: int) -> DGAP:
         return self.shards[shard_of(int(v), self.n_shards)]
 
+    def _check_global(self, v: int) -> int:
+        """Bounds-check a queried vertex in the *global* id space.
+
+        Point reads must never fall through to the owner shard's local
+        bounds check: the shard would report the *local* id in its
+        error, and after an uneven mid-crash growth a globally-invalid
+        id could even resolve to a stray local vertex.  Error behavior
+        is pinned to DGAP's: same exception type, same message shape,
+        global ids (``tests/test_serve.py`` asserts the parity).
+        """
+        v = int(v)
+        nv = self.num_vertices
+        if not 0 <= v < nv:
+            raise VertexRangeError(f"vertex {v} out of range [0, {nv})")
+        return v
+
     def out_degree(self, v: int) -> int:
-        return self.shard_for(v).out_degree(to_local(int(v), self.n_shards))
+        v = self._check_global(v)
+        return self.shard_for(v).out_degree(to_local(v, self.n_shards))
 
     def out_neighbors(self, v: int) -> np.ndarray:
         """Live neighbors of global vertex ``v`` (global destination ids)."""
-        return self.shard_for(v).out_neighbors(to_local(int(v), self.n_shards))
+        v = self._check_global(v)
+        return self.shard_for(v).out_neighbors(to_local(v, self.n_shards))
 
     # ------------------------------------------------------------------
     # mutation

@@ -130,7 +130,7 @@ class SweepReport:
         )
 
     def recovery_stats(self) -> Dict[str, float]:
-        """Six-point recovery-time summary (µs), p50 alongside p90.
+        """Recovery-time summary (µs) along ``DISTRIBUTION_KEYS``.
 
         Routed through the shared :func:`repro.bench.reporting.
         distribution_stats` helper (imported lazily — ``repro.bench``

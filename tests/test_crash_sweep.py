@@ -127,9 +127,11 @@ class TestSampledSweeps:
             SweepConfig(exhaustive_threshold=1000, idempotence_samples=0),
         )
         stats = rep.recovery_stats()
-        assert set(stats) == {"min_us", "p50_us", "mean_us", "p90_us", "p95_us", "max_us"}
+        from repro.bench.reporting import DISTRIBUTION_KEYS
+
+        assert set(stats) == {f"{k}_us" for k in DISTRIBUTION_KEYS}
         assert stats["min_us"] <= stats["p50_us"] <= stats["p90_us"]
-        assert stats["p90_us"] <= stats["p95_us"] <= stats["max_us"]
+        assert stats["p90_us"] <= stats["p95_us"] <= stats["p99_us"] <= stats["max_us"]
         assert rep.recovery_ns().size == rep.crash_points
 
 
