@@ -30,6 +30,7 @@ from .reporting import (
     format_table,
     ingest_phase_table,
     profile_table,
+    temporal_loop_table,
 )
 
 SYSTEM_ORDER = ("dgap", "bal", "llama", "graphone", "xpgraph")
@@ -103,6 +104,42 @@ def cmd_analysis_loop(args) -> None:
         ))
         if not all(ok for _, ok, _ in checks):
             raise SystemExit("counter checks failed")
+
+
+def cmd_temporal(args) -> None:
+    from .temporal_loop import DEFAULT_KERNELS, run_temporal_loop_pair
+
+    kernels = tuple(args.kernels.split(",")) if args.kernels else DEFAULT_KERNELS
+    pair = run_temporal_loop_pair(
+        args.dataset,
+        scale=args.scale,
+        window=args.window,
+        compact_threshold=args.compact_threshold,
+        kernels=kernels,
+        sources=args.sources,
+        batch_size=_batch_size(args),
+        max_steps=args.max_steps or None,
+    )
+    print(temporal_loop_table(pair))
+    c = pair.cached
+    print(format_table(
+        "loop identity (asserted) & speedup",
+        ["metric", "value"],
+        [
+            ("kernel outputs identical (sha256)", "yes"),
+            ("modeled seconds identical", "yes"),
+            ("per-step CSR byte-identical", "yes"),
+            ("compaction sweeps", str(c.compactions)),
+            ("tombstone pairs compacted",
+             str(c.counters["tombstone_pairs_compacted"])),
+            ("analysis wall speedup (cached)", f"{pair.speedup:.2f}x"),
+        ],
+    ))
+    if args.min_speedup > 0 and pair.speedup < args.min_speedup:
+        raise SystemExit(
+            f"temporal loop speedup {pair.speedup:.2f}x "
+            f"< required {args.min_speedup:g}x"
+        )
 
 
 def cmd_ablation(args) -> None:
@@ -296,6 +333,7 @@ def cmd_crash_sweep(args) -> None:
         crash_sweep,
         make_batched_insert_workload,
         make_insert_workload,
+        make_windowed_workload,
     )
 
     base = {
@@ -326,7 +364,14 @@ def cmd_crash_sweep(args) -> None:
         def make_graph(injector, faults):
             return DGAP(cfg, injector=injector, faults=faults)
 
-    if args.batch_size > 0:
+    if args.expire_window >= 0:
+        workload = make_windowed_workload(
+            edges,
+            window=args.expire_window,
+            step=args.window_step,
+            compact_every=args.compact_every,
+        )
+    elif args.batch_size > 0:
         workload = make_batched_insert_workload(edges, batch_size=args.batch_size)
     else:
         workload = make_insert_workload(edges)
@@ -462,6 +507,38 @@ def main(argv=None) -> int:
                    help="also run the deterministic incrementality counter checks")
     p.set_defaults(fn=cmd_analysis_loop)
 
+    p = sub.add_parser(
+        "temporal",
+        help="windowed stream: ingest→expire→analyze loop, cached vs scratch",
+    )
+    from ..datasets import TEMPORAL_DATASETS
+    from .temporal_loop import (
+        DEFAULT_COMPACT_THRESHOLD,
+        DEFAULT_DATASET,
+        DEFAULT_WINDOW,
+    )
+
+    p.add_argument("--dataset", choices=sorted(TEMPORAL_DATASETS),
+                   default=DEFAULT_DATASET)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--window", type=int, default=DEFAULT_WINDOW,
+                   help="sliding window in steps (0 = expire each step "
+                        "immediately)")
+    p.add_argument("--compact-threshold", type=float,
+                   default=DEFAULT_COMPACT_THRESHOLD,
+                   help="tombstone density that triggers a merge sweep")
+    p.add_argument("--kernels", default="",
+                   help="comma list from pr,cc,bfs,bc (default: all four)")
+    p.add_argument("--sources", type=int, default=8,
+                   help="GAPBS-style trial count for the source kernels (bfs, bc)")
+    p.add_argument("--max-steps", type=int, default=0,
+                   help="replay only this many steps (0 = the whole stream)")
+    p.add_argument("--batch-size", type=int, default=0,
+                   help="ingest sub-batch size (<=0 = one batch per phase)")
+    p.add_argument("--min-speedup", type=float, default=0.0,
+                   help="exit nonzero unless the cached arm wins by this factor")
+    p.set_defaults(fn=cmd_temporal)
+
     p = sub.add_parser("ablation", help="Table 5 component ablation")
     p.add_argument("--scale", type=float, default=0.5)
     add_batch_size(p)
@@ -516,6 +593,14 @@ def main(argv=None) -> int:
     p.add_argument("--batch-size", type=int, default=0,
                    help="replay via routed EdgeBatch dispatches of this size "
                         "(<=0 = per-edge ops); exercises mid-dispatch crashes")
+    p.add_argument("--expire-window", type=int, default=-1,
+                   help="sweep a windowed stream instead: expire edges this "
+                        "many steps after insertion and compact periodically "
+                        "(>=0 enables; overrides --batch-size)")
+    p.add_argument("--window-step", type=int, default=6,
+                   help="edges per temporal step for --expire-window")
+    p.add_argument("--compact-every", type=int, default=3,
+                   help="compaction cadence in steps for --expire-window")
     p.add_argument("--policy", choices=_SWEEP_POLICIES, default="default")
     p.add_argument("--poison", type=float, default=0.0,
                    help="probability a lost line is poisoned at crash (media faults)")

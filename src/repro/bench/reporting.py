@@ -148,6 +148,51 @@ def analysis_loop_table(pair, title: str = "analysis loop") -> str:
     return head + "\n\n" + counters
 
 
+def temporal_loop_table(pair, title: str = "temporal loop") -> str:
+    """Summarize a :class:`~repro.bench.temporal_loop.TemporalLoopPair`.
+
+    Per-step mutation volume and analysis wall clock for both arms
+    (kernel outputs, modeled times and per-step CSR bytes are asserted
+    identical before this table can exist), then the window and
+    view-cache counters.
+    """
+    cached, scratch = pair.cached, pair.scratch
+    cw = [0.0] * len(cached.steps)
+    sw = [0.0] * len(scratch.steps)
+    for r in cached.records:
+        cw[r.round] += r.wall_s
+    for r in scratch.records:
+        sw[r.round] += r.wall_s
+    rows = [
+        (s.step, s.added, s.churned, s.expired, "yes" if s.compacted else "",
+         c, u, u / max(c, 1e-12))
+        for s, c, u in zip(cached.steps, cw, sw)
+    ]
+    rows.append((
+        "total",
+        sum(s.added for s in cached.steps),
+        sum(s.churned for s in cached.steps),
+        sum(s.expired for s in cached.steps),
+        str(cached.compactions),
+        cached.analysis_wall_s, scratch.analysis_wall_s, pair.speedup,
+    ))
+    head = format_table(
+        f"{title} — {cached.dataset} (scale {cached.scale:g}, window "
+        f"{cached.window}, compact at {cached.compact_threshold:g}, "
+        f"kernels {','.join(cached.kernels)})",
+        ["step", "added", "churned", "expired", "compact",
+         "cached wall (s)", "scratch wall (s)", "speedup"],
+        rows,
+        floatfmt="{:.4f}",
+    )
+    counters = format_table(
+        "window + view-cache counters (cached arm)",
+        ["counter", "value"],
+        sorted(cached.counters.items()),
+    )
+    return head + "\n\n" + counters
+
+
 def crash_sweep_table(report, title: str = "crash sweep") -> str:
     """Summarize a :class:`~repro.testing.SweepReport` (§4.4 robustness).
 

@@ -38,7 +38,7 @@ from .edge_array import EdgeArray
 from .edge_log import EdgeLogs
 from .encoding import MAX_VERTEX, SLOT_DTYPE, encode_edge, encode_pivot
 from .locks import SectionLockTable
-from ..obs.tracer import trace
+from ..obs.tracer import annotate, trace
 from .pma_tree import DensityBounds
 from ..nputil import multi_arange as _multi_arange
 from .rebalance import (
@@ -110,6 +110,8 @@ class DGAP:
         self.n_shift_inserts = 0
         self.n_rebalances = 0
         self.n_resizes = 0
+        self.n_compactions = 0
+        self.tombstone_pairs_compacted = 0
         self.slots_rebalanced = 0
         self._active_snapshots = 0
 
@@ -880,6 +882,51 @@ class DGAP:
     def delete_edge(self, src: int, dst: int, thread_id: int = 0) -> None:
         """Delete one occurrence of ``src -> dst`` (tombstone insertion, §3.1.2)."""
         self.insert_edge(src, dst, thread_id=thread_id, tombstone=True)
+
+    # ------------------------------------------------------------------
+    # tombstone compaction (temporal expiry sweep)
+    # ------------------------------------------------------------------
+    def tombstone_density(self) -> float:
+        """Fraction of logical edge entries that are tombstones (0 if empty).
+
+        ``degree`` counts every entry (lives and tombstones), and
+        ``live_degree`` counts lives minus tombstones, so the tombstone
+        count is ``(Σdegree − Σlive) / 2`` — a pure DRAM read, cheap
+        enough to poll after every expiry batch.
+        """
+        deg = int(self.va.degrees().sum())
+        if deg == 0:
+            return 0.0
+        live = int(self.va.live_degrees().sum())
+        return (deg - live) / (2 * deg)
+
+    def compact(self, thread_id: int = 0) -> dict:
+        """Tombstone-merge sweep: physically drop matched delete pairs.
+
+        Rewrites the whole edge array once (under the rebalance crash
+        protocol), removing every matched tombstone + cancelled-live
+        pair from each vertex's logical run and merging pending edge-log
+        chains in the same pass.  The live adjacency read back afterward
+        is byte-identical; only the dead weight that inflates section
+        occupancy, gathers and recovery scans is gone.  Unmatched
+        tombstones are kept (see ``rebalance._compact_keep_mask``).
+
+        Requires no active analysis snapshots: snapshot semantics give a
+        reader the first ``degree_v`` *logical* entries of each run, and
+        the sweep rewrites exactly that history.
+        """
+        self._drop_point_view()
+        if self._active_snapshots:
+            raise GraphError("compact with active analysis snapshots")
+        with trace("compact"):
+            stats = self.rebalancer.compact(thread_id)
+            annotate(**stats)
+        self.n_compactions += 1
+        self.tombstone_pairs_compacted += stats["pairs_dropped"]
+        if self._cow_cache is not None:
+            for v in range(self.va.num_vertices):
+                self._sync_degree(v)
+        return stats
 
     # ------------------------------------------------------------------
     # graph analysis (paper §3.1.3)

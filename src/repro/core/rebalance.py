@@ -46,7 +46,7 @@ from ..nputil import ScratchBuffer, multi_arange
 from ..obs.tracer import annotate, trace
 from .edge_array import EdgeArray
 from .edge_log import EdgeLogs
-from .encoding import SLOT_DTYPE, encode_pivot, is_pivot, pivot_vertices
+from .encoding import SLOT_DTYPE, TOMB_BIT, encode_pivot, is_pivot, pivot_vertices
 from .undo_log import (
     PHASE_COMPACT,
     STATE_ACTIVE,
@@ -119,6 +119,39 @@ class GatherResult:
                 for o, s in zip(self.run_off.tolist(), self.sizes.tolist())
             ]
         return self._runs
+
+
+def _compact_keep_mask(
+    values: np.ndarray, sizes: np.ndarray, run_off: np.ndarray
+) -> np.ndarray:
+    """Per-run keep mask dropping matched tombstone + cancelled-live pairs.
+
+    Pairing mirrors the snapshot read path (``snapshot._apply_tombstones``):
+    within one vertex's logical run, a tombstone cancels the *most recent
+    earlier* live occurrence of its destination, and both slots of a
+    matched pair are dropped.  Unmatched tombstones (deletes of a
+    never-present edge) are **kept**: they carry a −1 live-degree
+    contribution that both the DRAM bookkeeping and the recovery scan
+    (``live = array_deg − 2·tombs``) account per tombstone regardless of
+    matching, so dropping them would silently shift live degrees.
+    Filtering is order-preserving, so replaying the kept sequence reads
+    back the exact same live adjacency.
+    """
+    keep = np.ones(values.size, dtype=bool)
+    vals = values.tolist()
+    tb = int(TOMB_BIT)
+    for o, s in zip(run_off.tolist(), sizes.tolist()):
+        open_pos: dict = {}
+        for i in range(o, o + s):
+            enc = vals[i]
+            if enc & tb:
+                stack = open_pos.get(enc & ~tb)
+                if stack:
+                    keep[stack.pop()] = False
+                    keep[i] = False
+            else:
+                open_pos.setdefault(enc, []).append(i)
+    return keep
 
 
 class Rebalancer:
@@ -609,6 +642,109 @@ class Rebalancer:
         self._apply_dram(g2, new_starts)
         new_ea.recount_all()
         host.stats_note_resize(new_cap)
+
+    # ------------------------------------------------------------------
+    # tombstone compaction (temporal expiry sweep)
+    # ------------------------------------------------------------------
+    def compact(self, thread_id: int = 0) -> dict:
+        """Whole-array tombstone-merge sweep; returns sweep statistics.
+
+        Gathers every vertex run (merging pending edge-log chains, as a
+        rebalance would), drops each matched tombstone + cancelled-live
+        pair (:func:`_compact_keep_mask`), and lays the filtered runs
+        back out over the full array under the same crash protection as
+        a rebalance window.  Live adjacency is byte-identical before and
+        after; ``live_degree`` is untouched (a dropped pair nets zero)
+        while ``degree``/``array_degree`` shrink to the filtered run
+        lengths, so the paid-per-entry costs of future gathers and scans
+        drop with the dead weight.
+
+        Crash behavior needs no new recovery logic: a crash before the
+        window image commits restores the backup and re-issues the
+        window as a plain rebalance (the sweep is dropped — logically
+        invisible); a crash after the COPYBACK commit redoes the copy
+        and the recovery scan reconstructs the filtered metadata, with
+        ``live = array_deg − 2·tombs`` still exact because only matched
+        pairs were removed.
+        """
+        with trace("compact_sweep"):
+            return self._compact_traced(thread_id)
+
+    def _compact_traced(self, thread_id: int = 0) -> dict:
+        host = self.host
+        while True:
+            locks = host.locks
+            held = locks.begin_rebalance(range(locks.n_sections))
+            try:
+                ea, va = host.ea, host.va
+                cap = ea.capacity
+                lo, hi, i0, j = self._extend(0, cap)
+                n = j - i0
+                if n == 0:
+                    return {
+                        "slots": cap, "entries_before": 0, "entries_after": 0,
+                        "pairs_dropped": 0, "tombstones_before": 0,
+                        "tombstones_after": 0,
+                    }
+                g = self._gather(0, cap, i0, j)
+                keep = _compact_keep_mask(g.values, g.sizes, g.run_off)
+                kept_total = int(keep.sum())
+                if n + kept_total > cap:
+                    # Even the filtered image cannot fit in place (log
+                    # chains outgrew the array): grow a generation, then
+                    # sweep the new layout.
+                    locks.end_rebalance(held)
+                    held = []
+                    self.resize(thread_id)
+                    continue
+                run_id = np.repeat(np.arange(n, dtype=np.int64), g.sizes)
+                new_sizes = np.bincount(run_id[keep], minlength=n).astype(np.int64)
+                values = g.values[keep]
+                new_off = np.cumsum(new_sizes) - new_sizes
+                g2 = GatherResult(
+                    0, cap, i0, j, values, new_sizes, new_off,
+                    g.chain_gidxs, n + kept_total,
+                )
+                image, new_starts = self._plan(g2)
+                annotate(
+                    slots=cap,
+                    entries=int(g.values.size),
+                    dropped=int(g.values.size - kept_total),
+                )
+                self._execute(0, cap, image, thread_id)
+                if host.config.use_undo_log:
+                    ulog = host.ulogs[thread_id]
+                    ulog.mark_done(0, cap)
+                    self._clears_by_window(0, cap)
+                    ulog.finish()
+                else:
+                    self._clears_by_window(0, cap)
+                # The filtered run *is* the vertex's whole logical
+                # history now: degree == array_degree == kept length,
+                # chains merged.  live_degree is invariant — each
+                # dropped pair is one live (+1) and one tombstone (−1).
+                live = va.live_degree[i0:j].copy()
+                va.update_window(
+                    i0, j, new_starts, new_sizes.copy(), new_sizes.copy(),
+                    live, np.full(n, -1, dtype=np.int64),
+                )
+                ea.recount(0, cap)
+                host.stats_note_rebalance(cap)
+                host.note_rebalance_window(0, cap)
+                tb = TOMB_BIT
+                tombs_before = int(((g.values & tb) != 0).sum())
+                tombs_after = int(((values & tb) != 0).sum())
+                return {
+                    "slots": cap,
+                    "entries_before": int(g.values.size),
+                    "entries_after": int(values.size),
+                    "pairs_dropped": int(g.values.size - kept_total) // 2,
+                    "tombstones_before": tombs_before,
+                    "tombstones_after": tombs_after,
+                }
+            finally:
+                if held:
+                    locks.end_rebalance(held)
 
     # ------------------------------------------------------------------
     # crash recovery

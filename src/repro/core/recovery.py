@@ -89,6 +89,8 @@ def _open_from_pool_traced(cls, pool: PMemPool, config: Optional[DGAPConfig]):
     host.n_shift_inserts = 0
     host.n_rebalances = 0
     host.n_resizes = 0
+    host.n_compactions = 0
+    host.tombstone_pairs_compacted = 0
     host.slots_rebalanced = 0
     host._active_snapshots = 0
     host.rebalancer = Rebalancer(host)

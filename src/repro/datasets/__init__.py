@@ -2,13 +2,18 @@
 
 from .registry import DATASETS, PAPER_DATASETS, SMALL_DATASETS, DatasetSpec, env_scale, get_dataset
 from .rmat import rmat_edges, shuffle_edges, uniform_edges
+from .temporal import TEMPORAL_DATASETS, TemporalSpec, TemporalStep, get_temporal_dataset
 
 __all__ = [
     "DATASETS",
     "PAPER_DATASETS",
     "SMALL_DATASETS",
+    "TEMPORAL_DATASETS",
     "DatasetSpec",
+    "TemporalSpec",
+    "TemporalStep",
     "get_dataset",
+    "get_temporal_dataset",
     "env_scale",
     "rmat_edges",
     "uniform_edges",

@@ -310,6 +310,32 @@ class ShardedDGAP:
     def delete_edge(self, src: int, dst: int, thread_id: int = 0) -> None:
         self.insert_edge(src, dst, thread_id=thread_id, tombstone=True)
 
+    def tombstone_density(self) -> float:
+        """Machine-wide tombstone fraction over all shards' logical entries."""
+        deg = sum(int(sh.va.degrees().sum()) for sh in self.shards)
+        if deg == 0:
+            return 0.0
+        live = sum(int(sh.va.live_degrees().sum()) for sh in self.shards)
+        return (deg - live) / (2 * deg)
+
+    def compact(self, thread_id: int = 0) -> dict:
+        """Tombstone-merge sweep on every shard; returns summed statistics.
+
+        Shard sweeps are independent (nothing persistent is shared), so
+        a mid-sweep power failure on one shard device fails the whole
+        machine, exactly like a mid-dispatch batch crash.
+        """
+        totals: dict = {}
+        try:
+            for sh in self.shards:
+                stats = sh.compact(thread_id)
+                for k, v in stats.items():
+                    totals[k] = totals.get(k, 0) + v
+        except SimulatedCrash:
+            self._power_fail_rest()
+            raise
+        return totals
+
     def insert_edges(
         self,
         edges: EdgeLike,

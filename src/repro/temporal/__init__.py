@@ -1,0 +1,5 @@
+"""Sliding-window temporal semantics layered on DGAP's mutation paths."""
+
+from .window import TemporalWindowGraph
+
+__all__ = ["TemporalWindowGraph"]

@@ -12,6 +12,7 @@ from .crashsweep import (
     crash_sweep,
     make_batched_insert_workload,
     make_insert_workload,
+    make_windowed_workload,
     pool_clocks,
     verify_recovered_graph,
 )
@@ -75,6 +76,7 @@ __all__ = [
     "crash_sweep",
     "events_from_tuples",
     "make_batched_insert_workload",
+    "make_windowed_workload",
     "pool_clocks",
     "explore_scenario",
     "explore_schedules",

@@ -52,9 +52,11 @@ from ..errors import MediaError, RecoveryError, SimulatedCrash
 from ..pmem.crash import CrashInjector
 from ..pmem.faults import DEFAULT_POLICY, FaultPolicy
 
-#: One workload operation: ``("insert" | "delete", src, dst)`` or a
-#: routed bulk mutation ``("batch", EdgeBatch)`` (insert-only batches;
-#: see :func:`make_batched_insert_workload`).
+#: One workload operation: ``("insert" | "delete", src, dst)``, a routed
+#: bulk mutation ``("batch", EdgeBatch)`` (insert-only batches; see
+#: :func:`make_batched_insert_workload`), a window-expiry delete run
+#: ``("expire", ((src, dst), ...))``, or a tombstone-merge sweep
+#: ``("compact",)`` (see :func:`make_windowed_workload`).
 Op = Tuple
 
 #: Builds a fresh system on a fresh pool wired to the given injector and
@@ -174,6 +176,38 @@ def make_batched_insert_workload(
     return [("batch", c) for c in batch.chunks(batch_size)]
 
 
+def make_windowed_workload(
+    edges,
+    window: int = 2,
+    step: int = 6,
+    compact_every: int = 3,
+) -> List[Op]:
+    """Sliding-window temporal workload: inserts, expiry runs, sweeps.
+
+    Consecutive ``step``-sized slices of ``edges`` are the timestamped
+    steps.  Each step contributes its scalar inserts, then — once the
+    window is full — one ``("expire", pairs)`` op deleting the step
+    that just fell out of the ``window``-step window, and every
+    ``compact_every``-th step one ``("compact",)`` tombstone-merge
+    sweep.  A sweep over this workload therefore lands crash points
+    inside expiry tombstone runs, the log merges they trigger, *and*
+    whole-array compaction windows.
+    """
+    if window < 0 or step < 1 or compact_every < 1:
+        raise ValueError("window >= 0, step >= 1, compact_every >= 1 required")
+    pairs = [(int(s), int(d)) for s, d in edges]
+    steps = [pairs[i : i + step] for i in range(0, len(pairs), step)]
+    ops: List[Op] = []
+    for t, chunk in enumerate(steps):
+        ops.extend(("insert", s, d) for s, d in chunk)
+        expired = t - window
+        if expired >= 0 and steps[expired]:
+            ops.append(("expire", tuple(steps[expired])))
+        if (t + 1) % compact_every == 0:
+            ops.append(("compact",))
+    return ops
+
+
 def _apply_op(g, op: Op) -> None:
     kind = op[0]
     if kind == "insert":
@@ -184,6 +218,11 @@ def _apply_op(g, op: Op) -> None:
         # Chunking already happened in the workload builder; one op is
         # one dispatch round.
         g.insert_edges(op[1], batch_size=None)
+    elif kind == "expire":
+        for s, d in op[1]:
+            g.delete_edge(s, d)
+    elif kind == "compact":
+        g.compact()
     else:
         raise ValueError(f"unknown workload op kind {kind!r}")
 
@@ -197,8 +236,19 @@ def _batch_per_src(batch: EdgeBatch) -> Dict[int, List[int]]:
 
 
 def _ordered_ops(ops: Sequence[Op]) -> bool:
-    """Insert-only workloads guarantee per-vertex order; deletes don't."""
-    return all(op[0] in ("insert", "batch") for op in ops)
+    """Insert-only workloads guarantee per-vertex order; deletes don't.
+
+    A compaction sweep preserves live order (it only drops matched
+    tombstone pairs), so it keeps an insert-only workload ordered.
+    """
+    return all(op[0] in ("insert", "batch", "compact") for op in ops)
+
+
+def _remove_last(lst: List[int], d: int) -> None:
+    for i in range(len(lst) - 1, -1, -1):
+        if lst[i] == d:
+            del lst[i]
+            break
 
 
 def _expected_state(ops: Sequence[Op], nv: int) -> Dict[int, List[int]]:
@@ -211,12 +261,15 @@ def _expected_state(ops: Sequence[Op], nv: int) -> Dict[int, List[int]]:
         elif kind == "batch":
             for s, d in zip(op[1].src.tolist(), op[1].dst.tolist()):
                 state.setdefault(s, []).append(d)
+        elif kind == "delete":
+            _remove_last(state.setdefault(op[1], []), op[2])
+        elif kind == "expire":
+            for s, d in op[1]:
+                _remove_last(state.setdefault(s, []), d)
+        elif kind == "compact":
+            pass  # logically invisible: live adjacency is unchanged
         else:
-            lst = state.setdefault(op[1], [])
-            for i in range(len(lst) - 1, -1, -1):
-                if lst[i] == op[2]:
-                    del lst[i]
-                    break
+            raise ValueError(f"unknown workload op kind {kind!r}")
     return state
 
 
@@ -252,7 +305,13 @@ def verify_recovered_graph(
     path processes each vertex's edges in stream order (scalar
     equivalence contract), and on a sharded graph a crash between
     per-shard dispatches leaves whole shards unapplied, which is still a
-    per-vertex prefix (each vertex lives in exactly one shard).
+    per-vertex prefix (each vertex lives in exactly one shard).  An
+    in-flight ``("expire", pairs)`` run applies its scalar deletes in
+    order, so the recovered state must match the acked prefix plus the
+    first ``j`` deletes for *some* ``j`` (the delete at the crash is
+    itself at-most-once, covered by ``j`` vs ``j+1``).  An in-flight
+    ``("compact",)`` sweep is logically invisible — crashed-out or
+    completed, the live adjacency must equal the acked prefix exactly.
     Everything else must match the acked prefix exactly.  Raises
     :class:`SweepFailure` naming ``where`` otherwise.
     """
@@ -260,10 +319,19 @@ def verify_recovered_graph(
     ordered = _ordered_ops(ops)
     without = _expected_state(ops[:acked], nv)
     in_flight: Optional[Op] = ops[acked] if acked < len(ops) else None
+    if in_flight is not None and in_flight[0] == "compact":
+        in_flight = None  # invisible either way: plain acked-prefix check
     in_flight_batch = in_flight is not None and in_flight[0] == "batch"
     batch_extra: Dict[int, List[int]] = (
         _batch_per_src(in_flight[1]) if in_flight_batch else {}
     )
+    if in_flight is not None and in_flight[0] == "expire":
+        return _verify_in_flight_expire(
+            g, ops, acked, in_flight,
+            where=where,
+            check_invariants=check_invariants,
+            check_log_cursors=check_log_cursors,
+        )
     with_op = None
     if in_flight is not None and not in_flight_batch:
         with_op = _expected_state(list(ops[: acked + 1]), nv)
@@ -301,6 +369,57 @@ def verify_recovered_graph(
     if in_flight_batch and in_flight_applied is None:
         in_flight_applied = False
 
+    _verify_structure(g, where, check_invariants, check_log_cursors)
+    return in_flight_applied
+
+
+def _verify_in_flight_expire(
+    g,
+    ops: Sequence[Op],
+    acked: int,
+    in_flight: Op,
+    *,
+    where: str,
+    check_invariants: bool,
+    check_log_cursors: bool,
+) -> Optional[bool]:
+    """Oracle for a crash inside an ``("expire", pairs)`` delete run.
+
+    The run's deletes are acked one by one, so the persisted state must
+    equal the acked prefix plus the first ``j`` expiry deletes for some
+    ``0 <= j <= len(pairs)`` — tried longest-first so the reported
+    ``in_flight_applied`` reflects the deepest matching prefix.
+    """
+    nv = g.num_vertices
+    ordered = _ordered_ops(ops)
+    pairs = list(in_flight[1])
+    got = {v: [int(d) for d in g.out_neighbors(v)] for v in range(nv)}
+    matched_j: Optional[int] = None
+    for j in range(len(pairs), -1, -1):
+        cand = list(ops[:acked]) + ([("expire", tuple(pairs[:j]))] if j else [])
+        want = _expected_state(cand, nv)
+        if all(_match(got.get(v, []), want.get(v, []), ordered) for v in range(nv)):
+            matched_j = j
+            break
+    if matched_j is None:
+        want0 = _expected_state(list(ops[:acked]), nv)
+        bad = next(
+            v for v in range(nv)
+            if not _match(got.get(v, []), want0.get(v, []), ordered)
+        )
+        raise SweepFailure(
+            f"[{where}] vertex {bad}: recovered {got.get(bad)} matches no "
+            f"prefix of the in-flight expire run {pairs} over the acked "
+            f"state {want0.get(bad)}"
+        )
+    _verify_structure(g, where, check_invariants, check_log_cursors)
+    return matched_j > 0
+
+
+def _verify_structure(
+    g, where: str, check_invariants: bool, check_log_cursors: bool
+) -> None:
+    """Shared structural half of the oracle: invariants + log cursors."""
     if check_invariants:
         try:
             g.check_invariants()
@@ -326,7 +445,6 @@ def verify_recovered_graph(
                     f"[{where}] edge-log cursors disagree with an independent "
                     f"rebuild: {part.logs.counts.tolist()} vs {fresh.counts.tolist()}"
                 )
-    return in_flight_applied
 
 
 # ----------------------------------------------------------------------
@@ -516,6 +634,7 @@ __all__ = [
     "crash_sweep",
     "make_insert_workload",
     "make_batched_insert_workload",
+    "make_windowed_workload",
     "pool_clocks",
     "verify_recovered_graph",
 ]

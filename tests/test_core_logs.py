@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro import DGAP, DGAPConfig
 from repro.core.edge_log import ENTRY_BYTES, EdgeLogs
 from repro.core.encoding import encode_edge
 from repro.core.undo_log import (
@@ -164,6 +165,107 @@ class TestUndoLog:
         b = UndoLog(pool, 1, 1024)
         a.begin(0, 10, PHASE_COMPACT)
         assert b.read_header().state == STATE_IDLE
+
+
+class TestCompactionTombstoneAccounting:
+    """Tombstone-merge sweeps vs the log/recovery accounting contracts.
+
+    The audit behind the temporal expiry path: a compaction sweep
+    removes *matched* tombstone+live pairs only, so
+
+    * array entries shrink by exactly 2 per dropped pair and tombstone
+      count by exactly 1 (the ``compact()`` stats ledger);
+    * unmatched tombstones (deletes with no live copy) survive the
+      sweep, which keeps the recovery scan's
+      ``live = entries - 2 * tombstones`` derivation exact even for a
+      fully-expired vertex run whose live degree is negative;
+    * the per-section edge logs end the sweep drained (``el == -1`` for
+      every vertex) with DRAM cursors that ``rebuild_counts`` reproduces
+      from the persistent entries alone.
+    """
+
+    def graph(self):
+        return DGAP(DGAPConfig(
+            init_vertices=8, init_edges=256, segment_slots=64, elog_size=96
+        ))
+
+    def expired_run(self):
+        """Vertex 3's run fully expires (every copy deleted), then two
+        unmatched tombstones land on top; vertex 1 keeps live edges."""
+        g = self.graph()
+        for d in (0, 1, 2, 0, 4, 5):
+            g.insert_edge(3, d)
+        for d in (1, 2):
+            g.insert_edge(1, d)
+        for d in (0, 1, 2, 0, 4, 5):
+            g.delete_edge(3, d)
+        g.delete_edge(3, 6)  # unmatched: no live copy of (3, 6)
+        g.delete_edge(3, 6)
+        return g
+
+    def test_stats_ledger_balances(self):
+        g = self.expired_run()
+        density_before = g.tombstone_density()
+        stats = g.compact()
+        assert stats["entries_before"] - stats["entries_after"] == \
+            2 * stats["pairs_dropped"]
+        assert stats["tombstones_before"] - stats["tombstones_after"] == \
+            stats["pairs_dropped"]
+        assert stats["pairs_dropped"] == 6
+        assert stats["tombstones_after"] == 2  # the unmatched pair of deletes
+        # non-increase is the contract; the surviving unmatched
+        # tombstones keep this tiny graph pinned at 0.5
+        assert g.tombstone_density() <= density_before
+        assert g.n_compactions == 1
+        assert g.tombstone_pairs_compacted == 6
+
+    def test_fully_expired_run_keeps_scan_derivation_exact(self):
+        g = self.expired_run()
+        g.compact()
+        va = g.va
+        # the run is only the unmatched tombstones now
+        assert int(va.degree[3]) == int(va.array_degree[3]) == 2
+        assert int(va.live_degree[3]) == -2
+        # recovery's derivation: live = entries - 2 * tombstones
+        assert int(va.live_degree[3]) == int(va.degree[3]) - 2 * 2
+        assert g.out_neighbors(3).size == 0
+        np.testing.assert_array_equal(sorted(g.out_neighbors(1)), [1, 2])
+        g.check_invariants()
+
+    def test_logs_drained_and_cursors_rebuildable(self):
+        g = self.graph()
+        rng = np.random.default_rng(8)
+        edges = rng.integers(0, 8, size=(150, 2), dtype=np.int64)
+        g.insert_edges(edges)
+        for s, d in edges[::3]:
+            g.delete_edge(int(s), int(d))
+        g.compact()
+        assert (g.va.els() == -1).all()  # every chain merged by the sweep
+        counts = g.logs.counts.copy()
+        live = g.logs.live_counts.copy()
+        g.logs.rebuild_counts()
+        np.testing.assert_array_equal(g.logs.counts, counts)
+        np.testing.assert_array_equal(g.logs.live_counts, live)
+
+    def test_recovery_after_compaction_rebuilds_same_state(self):
+        g = self.expired_run()
+        g.insert_edges(np.array([[5, 1], [5, 2], [5, 1]], dtype=np.int64))
+        g.delete_edge(5, 1)
+        g.compact()
+        before = {
+            v: g.out_neighbors(v).tolist() for v in range(g.num_vertices)
+        }
+        deg = g.va.degrees().copy()
+        live = g.va.live_degrees().copy()
+        g.pool.crash()
+        g2 = DGAP.open(g.pool, g.config)
+        assert {
+            v: g2.out_neighbors(v).tolist() for v in range(g2.num_vertices)
+        } == before
+        np.testing.assert_array_equal(g2.va.degrees(), deg)
+        np.testing.assert_array_equal(g2.va.live_degrees(), live)
+        assert g2.n_compactions == 0  # counters are runtime, not persistent
+        g2.check_invariants()
 
 
 class TestChainArrayPaths:

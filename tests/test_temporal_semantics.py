@@ -1,0 +1,285 @@
+"""Differential suite for windowed temporal semantics (DESIGN.md §16).
+
+The contract under test: :class:`repro.temporal.TemporalWindowGraph`
+driving a real DGAP — batched adds, FIFO churn deletes, sliding-window
+expiry down the tombstone path, density-triggered compaction sweeps —
+produces *byte-identical* out- and in-CSR views, every step, to a naive
+pure-python reference that implements the same window semantics with a
+dict-of-lists adjacency and remove-last deletion.  The reference shares
+no code with the library's read path; only the in-CSR counting sort is
+the pinned ``build_in_csr`` builder (the single source of truth for
+(dst, src, insertion) order, per DESIGN.md §7).
+
+Hypothesis drives arbitrary streams (duplicate parallel edges, deletes
+of absent pairs, empty steps) across window sizes including the
+degenerate 0 (expire the current step's survivors immediately) and 1
+(keep exactly the current step), with compaction both auto-triggered by
+tombstone density and forced at fixed cadences, on single-pool and
+sharded graphs.
+"""
+
+from collections import defaultdict
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import DGAP, DGAPConfig
+from repro.analysis.view import build_in_csr
+from repro.analysis.viewcache import DGAPViewCache
+from repro.errors import GraphError
+from repro.temporal import TemporalWindowGraph
+
+common = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+NV = 24
+SMALL = dict(init_vertices=NV, init_edges=256, segment_slots=64)
+
+
+def make_graph(**overrides):
+    return DGAP(DGAPConfig(**{**SMALL, **overrides}))
+
+
+# -- the naive reference ----------------------------------------------------
+
+
+def _remove_last(lst, d):
+    for i in range(len(lst) - 1, -1, -1):
+        if lst[i] == d:
+            del lst[i]
+            return
+    raise AssertionError(f"reference bookkeeping lost a copy of dst {d}")
+
+
+class NaiveWindowRef:
+    """Dict-of-lists window semantics, independent of the library.
+
+    ``adj[src]`` is the append-ordered destination list; ``tags[(s, d)]``
+    the (non-decreasing) birth steps of that pair's live copies.  A
+    churn delete consumes the oldest tag; expiry of step ``e`` consumes
+    every tag equal to ``e``.  Both remove the positionally *last*
+    occurrence from the adjacency list — the tombstone path's observable
+    effect on byte-identical parallel copies.
+    """
+
+    def __init__(self, window: int):
+        self.window = window
+        self.adj = defaultdict(list)
+        self.tags = defaultdict(list)
+        self.t = 0
+
+    def step(self, adds, deletes):
+        t = self.t
+        self.t += 1
+        for s, d in adds:
+            self.adj[s].append(d)
+            self.tags[(s, d)].append(t)
+        for s, d in deletes:
+            tags = self.tags.get((s, d))
+            if not tags:
+                continue  # no live copy: skipped, no tombstone
+            tags.pop(0)
+            _remove_last(self.adj[s], d)
+        e = t - self.window
+        if e >= 0:
+            for (s, d), tags in list(self.tags.items()):
+                while tags and tags[0] == e:
+                    tags.pop(0)
+                    _remove_last(self.adj[s], d)
+
+    def csr(self, nv):
+        counts = np.array(
+            [len(self.adj.get(v, ())) for v in range(nv)], dtype=np.int64
+        )
+        indptr = np.zeros(nv + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        dsts = np.array(
+            [d for v in range(nv) for d in self.adj.get(v, ())], dtype=np.int32
+        )
+        return (indptr, dsts), build_in_csr(indptr, dsts, nv)
+
+    def live(self):
+        return sum(len(v) for v in self.adj.values())
+
+
+def assert_graph_matches_ref(graph, ref, where=""):
+    nv = graph.num_vertices
+    (ref_ip, ref_ds), (ref_iip, ref_isr) = ref.csr(nv)
+    with graph.consistent_view() as snap:
+        out_ip, out_ds = snap.to_csr()
+        in_ip, in_sr = snap.to_csc()
+    assert np.asarray(out_ip).tobytes() == ref_ip.tobytes(), where
+    assert np.asarray(out_ds).tobytes() == ref_ds.tobytes(), where
+    assert np.asarray(in_ip).tobytes() == ref_iip.tobytes(), where
+    assert np.asarray(in_sr).tobytes() == ref_isr.tobytes(), where
+
+
+# -- strategies -------------------------------------------------------------
+
+pair = st.tuples(st.integers(0, NV - 1), st.integers(0, NV - 1))
+step_s = st.tuples(st.lists(pair, max_size=12), st.lists(pair, max_size=6))
+stream_s = st.lists(step_s, min_size=1, max_size=10)
+window_s = st.integers(0, 3)
+
+
+# -- differential properties ------------------------------------------------
+
+
+class TestWindowedStreamDifferential:
+    @given(stream_s, window_s)
+    @common
+    def test_csr_byte_identical_to_reference_every_step(self, stream, window):
+        """Arbitrary streams, auto-compaction at a low threshold so the
+        sweep fires inside the property (not only in dedicated tests)."""
+        g = make_graph()
+        wg = TemporalWindowGraph(g, window, compact_threshold=0.10)
+        ref = NaiveWindowRef(window)
+        for i, (adds, deletes) in enumerate(stream):
+            st_ = wg.advance(adds, deletes)
+            ref.step(adds, deletes)
+            assert_graph_matches_ref(g, ref, where=f"step {i} ({st_})")
+            assert wg.live_edges() == ref.live()
+        g.check_invariants()
+
+    @given(stream_s, window_s, st.integers(1, 3))
+    @common
+    def test_forced_compaction_cadence_is_invisible(self, stream, window, every):
+        """Compaction at a fixed cadence (auto off) never changes reads,
+        and the swept graph keeps its invariants."""
+        g = make_graph()
+        wg = TemporalWindowGraph(g, window, auto_compact=False)
+        ref = NaiveWindowRef(window)
+        for i, (adds, deletes) in enumerate(stream):
+            wg.advance(adds, deletes)
+            ref.step(adds, deletes)
+            if (i + 1) % every == 0:
+                before = g.tombstone_density()
+                g.compact()
+                assert g.tombstone_density() <= before
+                g.check_invariants()
+            assert_graph_matches_ref(g, ref, where=f"step {i}")
+
+    @given(stream_s, window_s)
+    @common
+    def test_incremental_view_cache_matches_reference(self, stream, window):
+        """The PR 3 epoch-versioned cache stays byte-identical to the
+        reference under expiry tombstones and compaction sweeps."""
+        g = make_graph()
+        wg = TemporalWindowGraph(g, window, compact_threshold=0.15)
+        cache = DGAPViewCache(g)
+        ref = NaiveWindowRef(window)
+        for i, (adds, deletes) in enumerate(stream):
+            wg.advance(adds, deletes)
+            ref.step(adds, deletes)
+            with g.consistent_view() as snap:
+                (out_ip, out_ds), (in_ip, in_sr) = cache.materialize(snap)
+            (ref_ip, ref_ds), (ref_iip, ref_isr) = ref.csr(g.num_vertices)
+            assert out_ip.tobytes() == ref_ip.tobytes(), f"step {i}"
+            assert out_ds.tobytes() == ref_ds.tobytes(), f"step {i}"
+            assert in_ip.tobytes() == ref_iip.tobytes(), f"step {i}"
+            assert in_sr.tobytes() == ref_isr.tobytes(), f"step {i}"
+
+    @given(stream_s, window_s)
+    @common
+    def test_sharded_windowed_stream_matches_reference(self, stream, window):
+        """The same semantics hold when the window wrapper drives a
+        sharded multi-pool graph (routing + merged global views)."""
+        from repro.sharding import ShardedDGAP
+
+        g = ShardedDGAP(2, DGAPConfig(**SMALL))
+        wg = TemporalWindowGraph(g, window, compact_threshold=0.10)
+        ref = NaiveWindowRef(window)
+        for i, (adds, deletes) in enumerate(stream):
+            wg.advance(adds, deletes)
+            ref.step(adds, deletes)
+            (out, inn) = g.global_csr()
+            (ref_ip, ref_ds), (ref_iip, ref_isr) = ref.csr(g.num_vertices)
+            assert np.asarray(out[0]).tobytes() == ref_ip.tobytes(), f"step {i}"
+            assert np.asarray(out[1]).tobytes() == ref_ds.tobytes(), f"step {i}"
+            assert np.asarray(inn[0]).tobytes() == ref_iip.tobytes(), f"step {i}"
+            assert np.asarray(inn[1]).tobytes() == ref_isr.tobytes(), f"step {i}"
+
+
+# -- degenerate windows -----------------------------------------------------
+
+
+class TestDegenerateWindows:
+    def test_window_zero_graph_empty_after_every_step(self):
+        g = make_graph()
+        wg = TemporalWindowGraph(g, 0, auto_compact=False)
+        rng = np.random.default_rng(5)
+        for t in range(6):
+            adds = rng.integers(0, NV, size=(20, 2), dtype=np.int64)
+            stats = wg.advance(adds)
+            assert stats["expired"] == stats["added"]
+            assert wg.live_edges() == 0
+            assert int(g.va.live_degrees().sum()) == 0
+
+    def test_window_one_keeps_exactly_the_current_step(self):
+        g = make_graph()
+        wg = TemporalWindowGraph(g, 1, auto_compact=False)
+        rng = np.random.default_rng(6)
+        prev = 0
+        for t in range(6):
+            adds = rng.integers(0, NV, size=(15, 2), dtype=np.int64)
+            stats = wg.advance(adds)
+            assert stats["expired"] == prev  # last step's copies all expire
+            assert wg.live_edges() == stats["added"]
+            prev = stats["added"]
+
+    def test_churn_consumes_the_oldest_copy_first(self):
+        """FIFO: a churn delete releases the oldest birth tag, so the
+        later copy still expires with its own step."""
+        g = make_graph()
+        wg = TemporalWindowGraph(g, 3, auto_compact=False)
+        wg.advance([(1, 2)])                   # step 0: birth tag 0
+        wg.advance([(1, 2)], [(1, 2)])         # step 1: add tag 1, churn eats tag 0
+        assert wg.live_pair_counts() == {(1, 2): 1}
+        s2 = wg.advance([])                    # step 2
+        s3 = wg.advance([])                    # step 3: tag-0 copy already gone
+        assert (s2["expired"], s3["expired"]) == (0, 0)
+        s4 = wg.advance([])                    # step 4: tag-1 copy expires
+        assert s4["expired"] == 1
+        assert wg.live_edges() == 0
+
+
+# -- construction contracts -------------------------------------------------
+
+
+class TestContracts:
+    def test_negative_window_rejected(self):
+        with pytest.raises(GraphError):
+            TemporalWindowGraph(make_graph(), -1)
+
+    def test_bad_compact_threshold_rejected(self):
+        with pytest.raises(GraphError):
+            TemporalWindowGraph(make_graph(), 2, compact_threshold=0.0)
+        with pytest.raises(GraphError):
+            TemporalWindowGraph(make_graph(), 2, compact_threshold=0.75)
+
+    def test_adds_must_not_carry_tombstones(self):
+        from repro.core.batch import EdgeBatch
+
+        wg = TemporalWindowGraph(make_graph(), 2)
+        batch = EdgeBatch(
+            np.array([1]), np.array([2]), np.array([True])
+        )
+        with pytest.raises(GraphError):
+            wg.advance(batch)
+
+    def test_counters_ledger_balances(self):
+        g = make_graph()
+        wg = TemporalWindowGraph(g, 2, auto_compact=False)
+        rng = np.random.default_rng(9)
+        for _ in range(8):
+            adds = rng.integers(0, NV, size=(10, 2), dtype=np.int64)
+            dels = rng.integers(0, NV, size=(4, 2), dtype=np.int64)
+            wg.advance(adds, dels)
+        c = wg.counters()
+        assert c["added"] - c["churn_deleted"] - c["expired"] == wg.live_edges()
+        assert int(g.va.live_degrees().sum()) == wg.live_edges()

@@ -132,6 +132,70 @@ class TestIncrementalViewProperty:
             np.testing.assert_array_equal(inn[1], ref_isr)
 
 
+# -- delete-heavy histories: tombstones and compaction sweeps --------------
+
+#: each row inserts one edge and deletes its pair 1–2 times (a second
+#: delete is an unmatched no-op tombstone), so every history is >50%
+#: deletes — the regime the temporal expiry path lives in.
+delete_heavy_ops = st.lists(
+    st.tuples(
+        st.integers(0, NV - 1),
+        st.integers(0, NV - 1),
+        st.integers(1, 2),  # deletes issued per insert
+        st.booleans(),      # analyze right after this row
+    ),
+    min_size=4,
+    max_size=30,
+)
+
+
+class TestDeleteHeavyHistories:
+    @given(delete_heavy_ops, st.integers(0, 3))
+    @common
+    def test_cached_view_survives_delete_heavy_interleavings(self, rows, cmod):
+        """Interleavings that are mostly deletions — matched tombstones,
+        unmatched no-op tombstones, and periodic tombstone-merge
+        compaction sweeps — never diverge the cached view from scratch."""
+        system = small_system()
+        n_ins = n_del = 0
+        for i, (s, d, dels, analyze) in enumerate(rows):
+            system.graph.insert_edge(s, d)
+            n_ins += 1
+            for _ in range(dels):
+                system.graph.delete_edge(s, d)
+                n_del += 1
+            if analyze:
+                assert_view_matches_scratch(system, system.analysis_view())
+            if cmod and (i + 1) % (cmod + 1) == 0:
+                system.graph.compact()
+                assert_view_matches_scratch(system, system.analysis_view())
+        system.graph.delete_edge(rows[0][0], rows[0][1])
+        n_del += 1
+        assert n_del > n_ins  # strictly delete-heavy, by construction
+        assert_view_matches_scratch(system, system.analysis_view())
+
+    @given(delete_heavy_ops)
+    @common
+    def test_batched_tombstones_match_scratch(self, rows):
+        """The same delete-heavy histories applied as tombstone
+        EdgeBatches (the temporal expiry path) instead of scalar ops."""
+        from repro.core.batch import EdgeBatch
+
+        system = small_system()
+        for s, d, dels, analyze in rows:
+            system.graph.insert_edge(s, d)
+            src = np.full(dels, s, dtype=np.int64)
+            dst = np.full(dels, d, dtype=np.int64)
+            system.graph.insert_edges(
+                EdgeBatch(src, dst, np.ones(dels, dtype=bool))
+            )
+            if analyze:
+                assert_view_matches_scratch(system, system.analysis_view())
+        if system.graph.tombstone_density() > 0:
+            system.graph.compact()
+        assert_view_matches_scratch(system, system.analysis_view())
+
+
 # -- kernels: cached vs uncached bit-identity ------------------------------
 
 
